@@ -1,0 +1,327 @@
+//! D-VAE baseline (Zhang et al., NeurIPS'19), adapted per the paper
+//! (§VII-A): a variational autoencoder over DAGs. The encoder rolls a
+//! GRU over the topological node sequence (after cycle breaking) into a
+//! Gaussian latent; the decoder rolls a GRU conditioned on the latent and
+//! scores, per node, edges to *all* previous nodes through a bilinear
+//! head. Generation decodes from a standard-normal latent with the same
+//! sequential validity enforcement as GraphRNN, hence also produces only
+//! DAGs.
+
+use crate::common::{break_cycles, build_dag_circuit, layout_attrs, topo_order};
+use crate::BaselineError;
+use rand::{rngs::StdRng, SeedableRng};
+use syncircuit_core::AttrModel;
+use syncircuit_graph::{CircuitGraph, NodeId};
+use syncircuit_nn::layers::{GruCell, Linear, Mlp};
+use syncircuit_nn::{Adam, Matrix, ParamStore, Tape, Var};
+
+/// D-VAE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct DvaeConfig {
+    /// GRU hidden width.
+    pub hidden: usize,
+    /// Latent dimension.
+    pub latent: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// KL regularization weight.
+    pub kl_weight: f32,
+}
+
+impl DvaeConfig {
+    /// Small configuration for tests.
+    pub fn tiny() -> Self {
+        DvaeConfig {
+            hidden: 16,
+            latent: 8,
+            epochs: 8,
+            lr: 0.01,
+            kl_weight: 0.05,
+        }
+    }
+
+    /// Experiment-scale configuration.
+    pub fn standard() -> Self {
+        DvaeConfig {
+            hidden: 48,
+            latent: 16,
+            epochs: 60,
+            lr: 5e-3,
+            kl_weight: 0.05,
+        }
+    }
+}
+
+/// Trained D-VAE-style generator.
+#[derive(Debug)]
+pub struct Dvae {
+    store: ParamStore,
+    enc_gru: GruCell,
+    mu_head: Linear,
+    dec_gru: GruCell,
+    dec_init: Linear,
+    edge_head: Mlp,
+    node_proj: Linear,
+    attrs: AttrModel,
+    config: DvaeConfig,
+}
+
+impl Dvae {
+    /// Trains on real circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty.
+    pub fn train(graphs: &[CircuitGraph], config: DvaeConfig, seed: u64) -> Self {
+        assert!(!graphs.is_empty(), "D-VAE training needs graphs");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let f = AttrModel::FEATURE_DIM;
+        let enc_gru = GruCell::new(&mut store, f, config.hidden, &mut rng);
+        let mu_head = Linear::new(&mut store, config.hidden, config.latent, &mut rng);
+        let dec_gru = GruCell::new(&mut store, f, config.hidden, &mut rng);
+        let dec_init = Linear::new(&mut store, config.latent, config.hidden, &mut rng);
+        // edge score for (prev state, current state) pair
+        let edge_head = Mlp::new(&mut store, &[2 * config.hidden, config.hidden, 1], &mut rng);
+        let node_proj = Linear::new(&mut store, config.hidden, config.hidden, &mut rng);
+        let attrs = AttrModel::fit(graphs);
+        let mut adam = Adam::with_lr(config.lr);
+
+        // Prepared sequences: features in topo order + adjacency targets.
+        struct Seq {
+            feats: Vec<Vec<f32>>,
+            /// target[k][p] = 1 iff edge order[p] → order[k]
+            target: Vec<Vec<f32>>,
+        }
+        let seqs: Vec<Seq> = graphs
+            .iter()
+            .map(|g| {
+                let edges = break_cycles(g);
+                let order = topo_order(g.node_count(), &edges);
+                let pos = {
+                    let mut p = vec![0usize; g.node_count()];
+                    for (i, &v) in order.iter().enumerate() {
+                        p[v as usize] = i;
+                    }
+                    p
+                };
+                let n = g.node_count();
+                let mut target = vec![Vec::new(); n];
+                for (k, row) in target.iter_mut().enumerate() {
+                    *row = vec![0.0; k];
+                }
+                for &(a, b) in &edges {
+                    let (mut pa, mut pb) = (pos[a as usize], pos[b as usize]);
+                    if pa > pb {
+                        std::mem::swap(&mut pa, &mut pb);
+                    }
+                    target[pb][pa] = 1.0;
+                }
+                let feats = order
+                    .iter()
+                    .map(|&v| AttrModel::features(g.node(NodeId::new(v as usize))))
+                    .collect();
+                Seq { feats, target }
+            })
+            .collect();
+
+        for _epoch in 0..config.epochs {
+            for seq in &seqs {
+                let n = seq.feats.len();
+                if n < 2 {
+                    continue;
+                }
+                let mut tape = Tape::new(&store);
+                // --- encode ---
+                let mut h = enc_gru.zero_state(&mut tape, 1);
+                for feat in &seq.feats {
+                    let x = tape.leaf(Matrix::from_rows(&[feat]));
+                    h = enc_gru.step(&mut tape, x, h);
+                }
+                let mu = mu_head.forward(&mut tape, h);
+                // reparameterize with unit sigma (simplified VAE; KL term
+                // reduces to ||mu||²/2)
+                let noise = tape.leaf(Matrix::randn(1, config.latent, 1.0, &mut rng));
+                let z = tape.add(mu, noise);
+
+                // --- decode ---
+                let hz = dec_init.forward(&mut tape, z);
+                let mut dh = tape.tanh(hz);
+                // Running vertical stack of previous node states (kept
+                // incremental: one concat per node, not per pair).
+                let mut stacked: Option<Var> = None;
+                let mut losses: Vec<Var> = Vec::new();
+                for (k, feat) in seq.feats.iter().enumerate() {
+                    let x = tape.leaf(Matrix::from_rows(&[feat]));
+                    dh = dec_gru.step(&mut tape, x, dh);
+                    let proj = node_proj.forward(&mut tape, dh);
+                    if k > 0 {
+                        let prev = stacked.expect("k > 0 implies prior states");
+                        let cur = tape.gather_rows(proj, vec![0u32; k]);
+                        let cat = tape.concat_cols(prev, cur);
+                        let logits = edge_head.forward(&mut tape, cat);
+                        let t = Matrix::from_vec(k, 1, seq.target[k].clone());
+                        losses.push(tape.bce_with_logits_mean(logits, t));
+                    }
+                    stacked = Some(match stacked {
+                        None => proj,
+                        Some(prev) => stack_rows(&mut tape, prev, proj),
+                    });
+                }
+                if losses.is_empty() {
+                    continue;
+                }
+                let mut rec = losses[0];
+                for &l in &losses[1..] {
+                    rec = tape.add(rec, l);
+                }
+                let rec = tape.scale(rec, 1.0 / losses.len() as f32);
+                // KL(N(mu,1) || N(0,1)) = ||mu||²/2 (+ const)
+                let musq = tape.hadamard(mu, mu);
+                let kl = tape.mean_all(musq);
+                let kl = tape.scale(kl, 0.5 * config.kl_weight);
+                let loss = tape.add(rec, kl);
+                let mut grads = tape.backward(loss);
+                grads.clip_norm(5.0);
+                adam.step(&mut store, &grads);
+            }
+        }
+
+        Dvae {
+            store,
+            enc_gru,
+            mu_head,
+            dec_gru,
+            dec_init,
+            edge_head,
+            node_proj,
+            attrs,
+            config,
+        }
+    }
+
+    /// Generates one valid (acyclic) circuit with `n` nodes from a fresh
+    /// latent sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::Unbuildable`] when no valid wiring exists
+    /// after the configured retries.
+    pub fn generate(&self, n: usize, seed: u64) -> Result<CircuitGraph, BaselineError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for attempt in 0..8 {
+            let raw = self.attrs.sample_attrs(n, &mut rng);
+            let attrs = layout_attrs(&raw);
+            // decode edge probabilities
+            let mut probs: Vec<Vec<f32>> = vec![Vec::new(); n];
+            {
+                let mut tape = Tape::new(&self.store);
+                let z = tape.leaf(Matrix::randn(1, self.config.latent, 1.0, &mut rng));
+                let hz = self.dec_init.forward(&mut tape, z);
+                let mut dh = tape.tanh(hz);
+                let mut stacked: Option<Var> = None;
+                for (k, attr) in attrs.iter().enumerate() {
+                    let feat = AttrModel::features(attr);
+                    let x = tape.leaf(Matrix::from_rows(&[&feat]));
+                    dh = self.dec_gru.step(&mut tape, x, dh);
+                    let proj = self.node_proj.forward(&mut tape, dh);
+                    if k > 0 {
+                        let prev = stacked.expect("k > 0 implies prior states");
+                        let cur = tape.gather_rows(proj, vec![0u32; k]);
+                        let cat = tape.concat_cols(prev, cur);
+                        let logits = self.edge_head.forward(&mut tape, cat);
+                        let p = tape.sigmoid(logits);
+                        probs[k] = tape.value(p).data().to_vec();
+                    }
+                    stacked = Some(match stacked {
+                        None => proj,
+                        Some(prev) => stack_rows(&mut tape, prev, proj),
+                    });
+                }
+            }
+            let built = build_dag_circuit(
+                &attrs,
+                |p, k| probs[k].get(p).copied().unwrap_or(0.0),
+                &mut rng,
+            );
+            if let Some(mut g) = built {
+                g.set_name(format!("dvae_{seed:x}_{attempt}"));
+                return Ok(g);
+            }
+        }
+        Err(BaselineError::Unbuildable {
+            generator: "dvae",
+            nodes: n,
+        })
+    }
+
+    /// Encodes a graph to its latent mean (used in tests to check the
+    /// encoder differentiates structures).
+    pub fn encode_mu(&self, g: &CircuitGraph) -> Vec<f32> {
+        let edges = break_cycles(g);
+        let order = topo_order(g.node_count(), &edges);
+        let mut tape = Tape::new(&self.store);
+        let mut h = self.enc_gru.zero_state(&mut tape, 1);
+        for &v in &order {
+            let feat = AttrModel::features(g.node(NodeId::new(v as usize)));
+            let x = tape.leaf(Matrix::from_rows(&[&feat]));
+            h = self.enc_gru.step(&mut tape, x, h);
+        }
+        let mu = self.mu_head.forward(&mut tape, h);
+        tape.value(mu).data().to_vec()
+    }
+}
+
+/// Stacks two row groups vertically.
+fn stack_rows(tape: &mut Tape, a: Var, b: Var) -> Var {
+    tape.concat_rows(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncircuit_graph::testing::random_circuit_with_size;
+
+    fn corpus() -> Vec<CircuitGraph> {
+        let mut rng = StdRng::seed_from_u64(70);
+        (0..3)
+            .map(|_| random_circuit_with_size(&mut rng, 20))
+            .collect()
+    }
+
+    #[test]
+    fn trains_and_generates_valid_dags() {
+        let model = Dvae::train(&corpus(), DvaeConfig::tiny(), 1);
+        for seed in 0..3 {
+            let g = model.generate(20, seed).expect("generation succeeds");
+            assert!(g.is_valid(), "{:?}", g.validate());
+            use syncircuit_graph::algo::tarjan_scc;
+            assert!(tarjan_scc(&g).iter().all(|s| s.len() == 1));
+        }
+    }
+
+    #[test]
+    fn encoder_separates_different_graphs() {
+        let model = Dvae::train(&corpus(), DvaeConfig::tiny(), 2);
+        let gs = corpus();
+        let mu0 = model.encode_mu(&gs[0]);
+        let mu1 = model.encode_mu(&gs[1]);
+        assert_ne!(mu0, mu1);
+    }
+
+    #[test]
+    fn stack_rows_builds_correct_matrix() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = tape.leaf(Matrix::from_rows(&[&[5.0, 6.0]]));
+        let s = stack_rows(&mut tape, a, b);
+        let m = tape.value(s);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+}

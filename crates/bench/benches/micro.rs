@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks: performance guardrails for the hot paths
+//! (denoising step, validity refinement, MCTS cone optimization,
+//! synthesis pass, STA, orbit counting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use syncircuit_core::{
+    optimize_cone_mcts, DiffusionConfig, DiffusionModel, ExactSynthReward, MctsConfig,
+    RefineConfig,
+};
+use syncircuit_datasets::design;
+use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
+use syncircuit_graph::stats::StructuralStats;
+use syncircuit_synth::{optimize, timing_analysis};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let g = design("tinyrocket").expect("corpus design").graph;
+    c.bench_function("synthesis_optimize_tinyrocket", |b| {
+        b.iter(|| optimize(black_box(&g)))
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let g = design("tinyrocket").expect("corpus design").graph;
+    let netlist = optimize(&g).netlist;
+    c.bench_function("sta_tinyrocket", |b| {
+        b.iter(|| timing_analysis(black_box(&netlist), 2.0))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let g = design("tinyrocket").expect("corpus design").graph;
+    c.bench_function("structural_stats_tinyrocket", |b| {
+        b.iter(|| StructuralStats::compute(black_box(&g)))
+    });
+}
+
+fn bench_diffusion_sample(c: &mut Criterion) {
+    let corpus: Vec<_> = syncircuit_datasets::corpus()
+        .into_iter()
+        .take(4)
+        .map(|d| d.graph)
+        .collect();
+    let mut cfg = DiffusionConfig::tiny();
+    cfg.epochs = 5;
+    let model = DiffusionModel::train(&corpus, cfg, 1);
+    let attrs: Vec<_> = corpus[0].iter().map(|(_, n)| *n).collect();
+    c.bench_function("diffusion_sample_36_nodes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            model.sample(black_box(&attrs), seed)
+        })
+    });
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let corpus: Vec<_> = syncircuit_datasets::corpus()
+        .into_iter()
+        .take(4)
+        .map(|d| d.graph)
+        .collect();
+    let mut cfg = DiffusionConfig::tiny();
+    cfg.epochs = 5;
+    let model = DiffusionModel::train(&corpus, cfg, 1);
+    let attr_model = syncircuit_core::AttrModel::fit(&corpus);
+    let attrs: Vec<_> = corpus[0].iter().map(|(_, n)| *n).collect();
+    let sampled = model.sample(&attrs, 3);
+    c.bench_function("refine_36_nodes", |b| {
+        b.iter(|| {
+            syncircuit_core::refine(
+                black_box(&attrs),
+                black_box(&sampled),
+                &attr_model,
+                &RefineConfig::default(),
+                7,
+            )
+        })
+    });
+}
+
+fn bench_mcts_cone(c: &mut Criterion) {
+    let g = design("oc_fifo").expect("corpus design").graph;
+    let cone = all_driving_cones(&g).into_iter().next().expect("has registers");
+    let cc = cone_circuit(&g, &cone);
+    let reward = ExactSynthReward::new();
+    let cfg = MctsConfig {
+        simulations: 20,
+        max_depth: 4,
+        actions_per_expansion: 6,
+        ..MctsConfig::default()
+    };
+    c.bench_function("mcts_cone_20_sims", |b| {
+        b.iter(|| optimize_cone_mcts(black_box(&cc.circuit), &reward, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis, bench_sta, bench_stats, bench_diffusion_sample, bench_refine, bench_mcts_cone
+}
+criterion_main!(benches);

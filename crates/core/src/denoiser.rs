@@ -1,0 +1,250 @@
+//! The denoising network φθ (paper §IV-C/D).
+//!
+//! **Encoder** — node features (type one-hot ⊕ log-width) are embedded
+//! with an MLP, combined with a learned time embedding, then refined by
+//! `L` directed message-passing layers that aggregate the *mean over
+//! parents* of the noisy graph `G_t` (linear in |E|, the paper's
+//! large-graph design point).
+//!
+//! **Decoder** — for a directed pair `(i, j)`, the edge-existence logit
+//! is `MLP( ((H_i + r(t)) ⊙ H_j) ⊕ d(t) )` with learnable translation
+//! embedding `r(t)` and time embedding `d(t)` (TransE-style asymmetry:
+//! swapping `i` and `j` changes the score, unlike dot products or
+//! Euclidean distances).
+
+use crate::attrs::AttrModel;
+use rand::Rng;
+use syncircuit_nn::layers::{Linear, Mlp};
+use syncircuit_nn::sparse::RowNormAdj;
+use syncircuit_nn::{Matrix, ParamStore, Tape, Var};
+use syncircuit_graph::Node;
+use std::rc::Rc;
+
+/// One MPNN layer of the encoder (the paper's update rule plus a ReLU).
+#[derive(Clone, Debug)]
+struct EncoderLayer {
+    w_h: Linear,
+    w_m: Linear,
+}
+
+/// The denoising network: encoder + asymmetric decoder.
+#[derive(Clone, Debug)]
+pub struct Denoiser {
+    feat_proj: Linear,
+    time_proj: Mlp,
+    layers: Vec<EncoderLayer>,
+    relation: Mlp, // r(t)
+    time_dec: Mlp, // d(t)
+    head: Mlp,
+    hidden: usize,
+    steps: usize,
+}
+
+impl Denoiser {
+    /// Registers all parameters of a denoiser with `hidden` units,
+    /// `layers` MPNN layers, for a schedule with `steps` diffusion steps.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        hidden: usize,
+        layers: usize,
+        steps: usize,
+        rng: &mut R,
+    ) -> Self {
+        Denoiser {
+            feat_proj: Linear::new(store, AttrModel::FEATURE_DIM, hidden, rng),
+            time_proj: Mlp::new(store, &[1, hidden, hidden], rng),
+            layers: (0..layers.max(1))
+                .map(|_| EncoderLayer {
+                    w_h: Linear::new(store, hidden, hidden, rng),
+                    w_m: Linear::new(store, hidden, hidden, rng),
+                })
+                .collect(),
+            relation: Mlp::new(store, &[1, hidden, hidden], rng),
+            time_dec: Mlp::new(store, &[1, hidden, hidden], rng),
+            head: Mlp::new(store, &[2 * hidden, hidden, 1], rng),
+            hidden,
+            steps,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn time_input(&self, tape: &mut Tape, t: usize) -> Var {
+        let norm = t as f32 / self.steps.max(1) as f32;
+        tape.leaf(Matrix::from_vec(1, 1, vec![norm]))
+    }
+
+    /// Encodes the noisy graph: returns `N×hidden` node representations.
+    ///
+    /// `features` is the `N×FEATURE_DIM` attribute matrix and `noisy_adj`
+    /// the mean-over-parents operator of `G_t`.
+    pub fn encode(
+        &self,
+        tape: &mut Tape,
+        features: Matrix,
+        noisy_adj: &Rc<RowNormAdj>,
+        t: usize,
+    ) -> Var {
+        let n = features.rows();
+        let x = tape.leaf(features);
+        let mut h = self.feat_proj.forward(tape, x);
+        // broadcast the time embedding to every node
+        let t_in = self.time_input(tape, t);
+        let t_emb = self.time_proj.forward(tape, t_in);
+        let t_rows = tape.gather_rows(t_emb, vec![0u32; n]);
+        h = tape.add(h, t_rows);
+        h = tape.relu(h);
+        for layer in &self.layers {
+            let self_term = layer.w_h.forward(tape, h);
+            let msg = layer.w_m.forward(tape, h);
+            let agg = tape.spmm_mean(noisy_adj.clone(), msg);
+            let sum = tape.add(self_term, agg);
+            h = tape.relu(sum);
+        }
+        h
+    }
+
+    /// Scores directed candidate pairs, returning a `K×1` logit matrix
+    /// aligned with `pairs` (each `(from, to)`).
+    pub fn decode_pairs(
+        &self,
+        tape: &mut Tape,
+        h: Var,
+        pairs: &[(u32, u32)],
+        t: usize,
+    ) -> Var {
+        let k = pairs.len();
+        let src: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let dst: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let hi = tape.gather_rows(h, src);
+        let hj = tape.gather_rows(h, dst);
+        let t_in = self.time_input(tape, t);
+        let r = self.relation.forward(tape, t_in); // 1×hidden
+        let d = self.time_dec.forward(tape, t_in); // 1×hidden
+        let hi_r = tape.add_row(hi, r);
+        let prod = tape.hadamard(hi_r, hj);
+        let d_rows = tape.gather_rows(d, vec![0u32; k]);
+        let cat = tape.concat_cols(prod, d_rows);
+        self.head.forward(tape, cat)
+    }
+
+    /// Convenience: encode + decode + sigmoid, returning probabilities
+    /// for each pair (no gradient use).
+    pub fn predict_probs(
+        &self,
+        store: &ParamStore,
+        features: Matrix,
+        noisy_adj: &Rc<RowNormAdj>,
+        pairs: &[(u32, u32)],
+        t: usize,
+    ) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut tape = Tape::new(store);
+        let h = self.encode(&mut tape, features, noisy_adj, t);
+        let logits = self.decode_pairs(&mut tape, h, pairs, t);
+        let probs = tape.sigmoid(logits);
+        tape.value(probs).data().to_vec()
+    }
+}
+
+/// Builds the `N×FEATURE_DIM` attribute feature matrix.
+pub fn feature_matrix(attrs: &[Node]) -> Matrix {
+    let rows: Vec<Vec<f32>> = attrs.iter().map(AttrModel::features).collect();
+    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// Builds the mean-over-parents operator from a parent-list adjacency.
+pub fn adjacency_operator(parents: &[Vec<u32>]) -> Rc<RowNormAdj> {
+    Rc::new(RowNormAdj::from_parents(parents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use syncircuit_graph::NodeType;
+
+    fn setup() -> (ParamStore, Denoiser, Matrix, Rc<RowNormAdj>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let d = Denoiser::new(&mut store, 16, 2, 9, &mut rng);
+        let attrs = vec![
+            Node::new(NodeType::Input, 8),
+            Node::new(NodeType::Reg, 8),
+            Node::new(NodeType::Add, 8),
+            Node::new(NodeType::Output, 8),
+        ];
+        let feats = feature_matrix(&attrs);
+        let adj = adjacency_operator(&[vec![], vec![2], vec![0, 1], vec![1]]);
+        (store, d, feats, adj)
+    }
+
+    #[test]
+    fn encoder_shapes() {
+        let (store, d, feats, adj) = setup();
+        let mut tape = Tape::new(&store);
+        let h = d.encode(&mut tape, feats, &adj, 3);
+        assert_eq!(tape.value(h).shape(), (4, 16));
+    }
+
+    #[test]
+    fn decoder_is_asymmetric() {
+        let (store, d, feats, adj) = setup();
+        let p_fwd = d.predict_probs(&store, feats.clone(), &adj, &[(0, 2)], 3);
+        let p_bwd = d.predict_probs(&store, feats, &adj, &[(2, 0)], 3);
+        assert_ne!(
+            p_fwd[0], p_bwd[0],
+            "directed pairs must score differently (TransE asymmetry)"
+        );
+    }
+
+    #[test]
+    fn probs_are_probabilities() {
+        let (store, d, feats, adj) = setup();
+        let pairs: Vec<(u32, u32)> = (0..4).flat_map(|i| (0..4).map(move |j| (i, j))).collect();
+        let probs = d.predict_probs(&store, feats, &adj, &pairs, 1);
+        assert_eq!(probs.len(), 16);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn time_conditioning_changes_predictions() {
+        let (store, d, feats, adj) = setup();
+        let p1 = d.predict_probs(&store, feats.clone(), &adj, &[(0, 2)], 1);
+        let p8 = d.predict_probs(&store, feats, &adj, &[(0, 2)], 8);
+        assert_ne!(p1[0], p8[0], "time embedding must condition the score");
+    }
+
+    #[test]
+    fn empty_pairs_ok() {
+        let (store, d, feats, adj) = setup();
+        assert!(d.predict_probs(&store, feats, &adj, &[], 1).is_empty());
+    }
+
+    #[test]
+    fn trainable_on_a_fixed_target() {
+        // Overfit a tiny denoiser to prefer edge (0,2) over (2,0).
+        use syncircuit_nn::Adam;
+        let (mut store, d, feats, adj) = setup();
+        let mut adam = Adam::with_lr(0.02);
+        let pairs = [(0u32, 2u32), (2u32, 0u32)];
+        let targets = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
+        for _ in 0..200 {
+            let mut tape = Tape::new(&store);
+            let h = d.encode(&mut tape, feats.clone(), &adj, 2);
+            let logits = d.decode_pairs(&mut tape, h, &pairs, 2);
+            let loss = tape.bce_with_logits_mean(logits, targets.clone());
+            let grads = tape.backward(loss);
+            adam.step(&mut store, &grads);
+        }
+        let probs = d.predict_probs(&store, feats, &adj, &pairs, 2);
+        assert!(probs[0] > 0.9, "positive pair: {probs:?}");
+        assert!(probs[1] < 0.1, "negative pair: {probs:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! SynCircuit's primary contribution: automated generation of new
+//! synthetic RTL circuits with valid functionality (DAC 2025).
+//!
+//! The pipeline has three phases (paper §III):
+//!
+//! 1. **[`diffusion`]** — a customized discrete-diffusion model over
+//!    directed cyclic graphs: time-conditioned MPNN encoder, TransE-style
+//!    asymmetric edge decoder, cosine two-state noise schedule
+//!    ([`schedule`]), sparse candidate decoding for large graphs.
+//! 2. **[`refine`]** — probability-guided post-processing that turns the
+//!    raw diffusion output into a graph satisfying the circuit
+//!    constraints `C` (fan-in arity per node type, no combinational
+//!    loops), with out-degree guidance.
+//! 3. **[`mcts`]** — Monte-Carlo tree search over atomic parent-swap
+//!    actions that reduces logic redundancy cone by cone, rewarded by
+//!    post-synthesis circuit size (exactly, or through the trained
+//!    [`discriminator`]).
+//!
+//! [`SynCircuit`] ties the phases together behind a two-call API
+//! (`fit` → `generate`).
+//!
+//! # Example
+//!
+//! ```
+//! use syncircuit_core::{PipelineConfig, SynCircuit};
+//! use syncircuit_graph::testing::random_circuit_with_size;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let corpus: Vec<_> = (0..3).map(|_| random_circuit_with_size(&mut rng, 25)).collect();
+//! let model = SynCircuit::fit(&corpus, PipelineConfig::tiny())?;
+//! let generated = model.generate(30)?;
+//! assert!(generated.graph.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attrs;
+pub mod denoiser;
+pub mod diffusion;
+pub mod discriminator;
+pub mod mcts;
+pub mod pipeline;
+pub mod refine;
+pub mod schedule;
+
+pub use attrs::AttrModel;
+pub use diffusion::{DecodeMode, DiffusionConfig, DiffusionModel, EdgeProbs, SampledGraph};
+pub use discriminator::PcsDiscriminator;
+pub use mcts::{
+    optimize_cone_mcts, optimize_cone_random, optimize_random_walk, optimize_registers,
+    optimize_registers_random, ConeSelection, ExactSynthReward, MctsConfig, MctsOutcome,
+    RewardModel,
+};
+pub use pipeline::{Generated, PipelineConfig, PipelineError, RewardKind, SynCircuit};
+pub use refine::{refine, refine_without_diffusion, RefineConfig, RefineError};
+pub use schedule::NoiseSchedule;

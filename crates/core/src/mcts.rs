@@ -1,0 +1,896 @@
+//! Phase 3 — MCTS-based redundancy refinement (paper §VI).
+//!
+//! Synthetic circuits fresh out of Phase 2 carry heavy logic redundancy:
+//! synthesis deletes registers whose driving cones collapse *and*
+//! registers whose values never reach an output. This module implements
+//! the paper's search:
+//!
+//! - **state** — an adjacency matrix (a circuit graph);
+//! - **action** — the atomic *parent swap*: edges `(i→j)` and `(p→q)`
+//!   become `(p→j)` and `(i→q)`, preserving every node's in- and
+//!   out-degree; each action is validity-checked against `C`;
+//! - **reward** — post-synthesis circuit size (PCS), from the exact
+//!   synthesis simulator or a trained discriminator
+//!   ([`crate::discriminator`]);
+//! - **selection** — UCB1 with `c = √2`;
+//! - **simulation/backprop** — the paper's modification: the value
+//!   propagated is the *maximum* reward seen along the simulation path,
+//!   not the terminal value, and the globally best state is returned.
+//!
+//! Registers are optimized "one by one" (§VI-A): for each target
+//! register, the search runs on the **full design** with swaps biased to
+//! edges incident to that register's driving cone, and the design-level
+//! PCS as reward. This lets the search fix both failure modes — cone
+//! collapse (rewiring constant/duplicate logic) and fan-out deadness
+//! (trading an output's driver into the dead cone) — while the
+//! degree-preserving action keeps the Phase 2 structure intact.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use syncircuit_graph::comb::edge_would_close_comb_loop;
+use syncircuit_graph::cone::all_driving_cones;
+use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
+
+/// Reward oracle: post-synthesis circuit size of a candidate state.
+pub trait RewardModel {
+    /// PCS of the circuit (larger ⇒ less redundancy).
+    fn pcs(&self, g: &CircuitGraph) -> f64;
+}
+
+/// Exact reward through the synthesis simulator.
+#[derive(Clone, Debug, Default)]
+pub struct ExactSynthReward {
+    lib: syncircuit_synth::CellLibrary,
+}
+
+impl ExactSynthReward {
+    /// Exact reward with the default cell library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RewardModel for ExactSynthReward {
+    fn pcs(&self, g: &CircuitGraph) -> f64 {
+        let res = syncircuit_synth::passes::optimize_with(g, &self.lib);
+        syncircuit_synth::pcs(&res)
+    }
+}
+
+/// MCTS hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct MctsConfig {
+    /// Simulations per register cone (paper: 500).
+    pub simulations: usize,
+    /// Maximum rollout depth (paper: 10).
+    pub max_depth: usize,
+    /// UCB1 exploration constant (paper: √2).
+    pub exploration: f64,
+    /// Candidate actions sampled when expanding a node.
+    pub actions_per_expansion: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            simulations: 500,
+            max_depth: 10,
+            exploration: std::f64::consts::SQRT_2,
+            actions_per_expansion: 12,
+            seed: 0,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// Small configuration for tests.
+    pub fn tiny() -> Self {
+        MctsConfig {
+            simulations: 30,
+            max_depth: 4,
+            actions_per_expansion: 6,
+            ..MctsConfig::default()
+        }
+    }
+}
+
+/// Outcome of one optimization run.
+#[derive(Clone, Debug)]
+pub struct MctsOutcome {
+    /// Best state found (≥ initial by reward).
+    pub best: CircuitGraph,
+    /// Reward of the best state.
+    pub best_reward: f64,
+    /// Reward of the initial state.
+    pub initial_reward: f64,
+    /// Number of reward-model evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The atomic parent-swap action on two directed edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Swap {
+    i: NodeId,
+    j: NodeId,
+    p: NodeId,
+    q: NodeId,
+}
+
+/// Applies a swap if it keeps the circuit valid; returns the new state.
+fn apply_swap(g: &CircuitGraph, s: Swap) -> Option<CircuitGraph> {
+    if s.i == s.p && s.j == s.q {
+        return None; // identical edge
+    }
+    if s.j == s.q {
+        return None; // same child: swap is a no-op permutation of slots
+    }
+    // New self-loops only allowed on registers.
+    if s.p == s.j && !g.ty(s.j).is_register() {
+        return None;
+    }
+    if s.i == s.q && !g.ty(s.q).is_register() {
+        return None;
+    }
+    // Outputs never drive anything: they cannot become parents (they are
+    // never parents in a valid state, so this is just a guard).
+    if g.ty(s.i).is_sink() || g.ty(s.p).is_sink() {
+        return None;
+    }
+    // Keep the adjacency binary: reject if a new edge already exists.
+    if g.has_edge(s.p, s.j) || g.has_edge(s.i, s.q) {
+        return None;
+    }
+    // Bit-selects must stay in range of their (new) parent.
+    let fits = |child: NodeId, parent: NodeId| {
+        let c = g.node(child);
+        c.ty() != NodeType::BitSelect
+            || (c.aux() as u32 + c.width()) <= g.node(parent).width()
+    };
+    if !fits(s.j, s.p) || !fits(s.q, s.i) {
+        return None;
+    }
+
+    let mut out = g.clone();
+    out.remove_edge(s.i, s.j).ok()?;
+    out.remove_edge(s.p, s.q).ok()?;
+    // Check each insertion against combinational loops, incrementally.
+    let children = out.children_index();
+    if edge_would_close_comb_loop(&out, &children, s.p, s.j) {
+        return None;
+    }
+    out.add_edge(s.p, s.j).ok()?;
+    let children = out.children_index();
+    if edge_would_close_comb_loop(&out, &children, s.i, s.q) {
+        return None;
+    }
+    out.add_edge(s.i, s.q).ok()?;
+    debug_assert!(out.is_valid(), "swap must preserve validity");
+    Some(out)
+}
+
+/// Edge pools a state offers to the swap sampler.
+#[derive(Clone, Debug, Default)]
+struct EdgePools {
+    /// First-edge candidates (focused on the target cone when set).
+    first: Vec<(NodeId, NodeId)>,
+    /// Second-edge candidates (the whole design).
+    second: Vec<(NodeId, NodeId)>,
+}
+
+/// Search scope: which edges may participate in swaps.
+#[derive(Clone, Debug)]
+struct Scope {
+    /// Optional node mask biasing the first edge of every swap.
+    focus: Option<Vec<bool>>,
+    /// Whether edges into output ports may be swapped (full-design mode).
+    include_sink_inputs: bool,
+}
+
+impl Scope {
+    fn pools(&self, g: &CircuitGraph) -> EdgePools {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for e in g.edges() {
+            if !self.include_sink_inputs && g.ty(e.to).is_sink() {
+                continue;
+            }
+            let pair = (e.from, e.to);
+            second.push(pair);
+            let focused = match &self.focus {
+                None => true,
+                Some(mask) => mask[e.from.index()] || mask[e.to.index()],
+            };
+            if focused {
+                first.push(pair);
+            }
+        }
+        if first.is_empty() {
+            first = second.clone();
+        }
+        EdgePools { first, second }
+    }
+}
+
+fn sample_swap(rng: &mut StdRng, pools: &EdgePools) -> Option<Swap> {
+    if pools.first.is_empty() || pools.second.len() < 2 {
+        return None;
+    }
+    let a = pools.first[rng.gen_range(0..pools.first.len())];
+    let b = pools.second[rng.gen_range(0..pools.second.len())];
+    Some(Swap {
+        i: a.0,
+        j: a.1,
+        p: b.0,
+        q: b.1,
+    })
+}
+
+/// Reward cache keyed by the state's adjacency fingerprint.
+struct RewardCache<'a> {
+    model: &'a dyn RewardModel,
+    cache: HashMap<u64, f64>,
+    /// Distinct states evaluated by the underlying model.
+    evaluations: usize,
+    /// All reward queries including cache hits (loop-bound guard).
+    queries: usize,
+}
+
+impl<'a> RewardCache<'a> {
+    fn new(model: &'a dyn RewardModel) -> Self {
+        RewardCache {
+            model,
+            cache: HashMap::new(),
+            evaluations: 0,
+            queries: 0,
+        }
+    }
+
+    fn reward(&mut self, g: &CircuitGraph) -> f64 {
+        self.queries += 1;
+        let key = adjacency_fingerprint(g);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        self.evaluations += 1;
+        let r = self.model.pcs(g);
+        self.cache.insert(key, r);
+        r
+    }
+}
+
+fn adjacency_fingerprint(g: &CircuitGraph) -> u64 {
+    let mut h = DefaultHasher::new();
+    for id in g.node_ids() {
+        g.parents(id).hash(&mut h);
+    }
+    h.finish()
+}
+
+struct TreeNode {
+    state: CircuitGraph,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    untried: Vec<Swap>,
+    visits: f64,
+    value_sum: f64,
+    reward: f64,
+    depth: usize,
+}
+
+fn propose_actions(
+    g: &CircuitGraph,
+    scope: &Scope,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Swap> {
+    let pools = scope.pools(g);
+    let mut out = Vec::new();
+    for _ in 0..count * 4 {
+        if out.len() >= count {
+            break;
+        }
+        if let Some(s) = sample_swap(rng, &pools) {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Core UCB1 tree search with max-reward backpropagation.
+fn search(
+    initial: &CircuitGraph,
+    scope: &Scope,
+    reward_model: &dyn RewardModel,
+    config: &MctsConfig,
+) -> MctsOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rewards = RewardCache::new(reward_model);
+    let initial_reward = rewards.reward(initial);
+    let mut best = initial.clone();
+    let mut best_reward = initial_reward;
+
+    let mut nodes: Vec<TreeNode> = vec![TreeNode {
+        state: initial.clone(),
+        parent: None,
+        children: Vec::new(),
+        untried: propose_actions(initial, scope, config.actions_per_expansion, &mut rng),
+        visits: 0.0,
+        value_sum: 0.0,
+        reward: initial_reward,
+        depth: 0,
+    }];
+
+    for _sim in 0..config.simulations {
+        // --- selection ---
+        let mut cur = 0usize;
+        while nodes[cur].untried.is_empty()
+            && !nodes[cur].children.is_empty()
+            && nodes[cur].depth < config.max_depth
+        {
+            let ln_n = nodes[cur].visits.max(1.0).ln();
+            let c = config.exploration;
+            cur = *nodes[cur]
+                .children
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let ucb = |k: usize| {
+                        let node = &nodes[k];
+                        let n = node.visits.max(1e-9);
+                        node.value_sum / n + c * (ln_n / n).sqrt()
+                    };
+                    ucb(a).total_cmp(&ucb(b))
+                })
+                .expect("children checked non-empty");
+        }
+
+        // --- expansion ---
+        let mut leaf = cur;
+        if nodes[cur].depth < config.max_depth {
+            while let Some(action) = nodes[cur].untried.pop() {
+                if let Some(state) = apply_swap(&nodes[cur].state, action) {
+                    let r = rewards.reward(&state);
+                    if r > best_reward {
+                        best_reward = r;
+                        best = state.clone();
+                    }
+                    let depth = nodes[cur].depth + 1;
+                    let untried =
+                        propose_actions(&state, scope, config.actions_per_expansion, &mut rng);
+                    nodes.push(TreeNode {
+                        state,
+                        parent: Some(cur),
+                        children: Vec::new(),
+                        untried,
+                        visits: 0.0,
+                        value_sum: 0.0,
+                        reward: r,
+                        depth,
+                    });
+                    let new_idx = nodes.len() - 1;
+                    nodes[cur].children.push(new_idx);
+                    leaf = new_idx;
+                    break;
+                }
+            }
+        }
+
+        // --- simulation (random rollout, tracking the max reward) ---
+        let mut roll_state = nodes[leaf].state.clone();
+        let mut reward_max = nodes[leaf].reward;
+        let remaining = config.max_depth.saturating_sub(nodes[leaf].depth);
+        for _ in 0..remaining {
+            let pools = scope.pools(&roll_state);
+            let mut stepped = false;
+            for _try in 0..8 {
+                if let Some(sw) = sample_swap(&mut rng, &pools) {
+                    if let Some(next) = apply_swap(&roll_state, sw) {
+                        let r = rewards.reward(&next);
+                        if r > best_reward {
+                            best_reward = r;
+                            best = next.clone();
+                        }
+                        reward_max = reward_max.max(r);
+                        roll_state = next;
+                        stepped = true;
+                        break;
+                    }
+                }
+            }
+            if !stepped {
+                break;
+            }
+        }
+
+        // --- backpropagation of the max reward ---
+        let mut up = Some(leaf);
+        while let Some(k) = up {
+            nodes[k].visits += 1.0;
+            nodes[k].value_sum += reward_max;
+            up = nodes[k].parent;
+        }
+    }
+
+    MctsOutcome {
+        best,
+        best_reward,
+        initial_reward,
+        evaluations: rewards.evaluations,
+    }
+}
+
+/// Optimizes one standalone (cone) circuit with MCTS over unrestricted
+/// swaps; edges into output ports stay fixed (the measured endpoint).
+pub fn optimize_cone_mcts(
+    initial: &CircuitGraph,
+    reward_model: &dyn RewardModel,
+    config: &MctsConfig,
+) -> MctsOutcome {
+    let scope = Scope {
+        focus: None,
+        include_sink_inputs: false,
+    };
+    search(initial, &scope, reward_model, config)
+}
+
+/// Random-search ablation (paper Fig. 4): random valid swaps with the
+/// same evaluation budget, keeping the best state seen. `focus_nodes`
+/// biases the first edge of each swap when given (same scope as
+/// [`optimize_registers`]).
+pub fn optimize_random_walk(
+    initial: &CircuitGraph,
+    focus_nodes: Option<&[NodeId]>,
+    include_sink_inputs: bool,
+    reward_model: &dyn RewardModel,
+    evaluation_budget: usize,
+    max_depth: usize,
+    seed: u64,
+) -> MctsOutcome {
+    let scope = Scope {
+        focus: focus_nodes.map(|ns| node_mask(initial, ns)),
+        include_sink_inputs,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rewards = RewardCache::new(reward_model);
+    let initial_reward = rewards.reward(initial);
+    let mut best = initial.clone();
+    let mut best_reward = initial_reward;
+
+    let mut state = initial.clone();
+    let mut depth = 0usize;
+    // Small state spaces exhaust distinct evaluations early; the query
+    // cap bounds the walk regardless.
+    let query_cap = evaluation_budget.saturating_mul(20).max(64);
+    while rewards.evaluations < evaluation_budget && rewards.queries < query_cap {
+        if depth >= max_depth {
+            state = initial.clone();
+            depth = 0;
+        }
+        let pools = scope.pools(&state);
+        let mut advanced = false;
+        for _try in 0..8 {
+            if let Some(sw) = sample_swap(&mut rng, &pools) {
+                if let Some(next) = apply_swap(&state, sw) {
+                    let r = rewards.reward(&next);
+                    if r > best_reward {
+                        best_reward = r;
+                        best = next.clone();
+                    }
+                    state = next;
+                    depth += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            state = initial.clone();
+            depth = 0;
+            // Graphs with no valid swap at all: stop instead of spinning.
+            let pools = scope.pools(&state);
+            let any_valid = (0..16).any(|_| {
+                sample_swap(&mut rng, &pools)
+                    .and_then(|sw| apply_swap(&state, sw))
+                    .is_some()
+            });
+            if !any_valid {
+                break;
+            }
+        }
+    }
+
+    MctsOutcome {
+        best,
+        best_reward,
+        initial_reward,
+        evaluations: rewards.evaluations,
+    }
+}
+
+/// Backwards-compatible alias of [`optimize_random_walk`] for standalone
+/// cone circuits.
+pub fn optimize_cone_random(
+    initial: &CircuitGraph,
+    reward_model: &dyn RewardModel,
+    evaluation_budget: usize,
+    max_depth: usize,
+    seed: u64,
+) -> MctsOutcome {
+    optimize_random_walk(
+        initial,
+        None,
+        false,
+        reward_model,
+        evaluation_budget,
+        max_depth,
+        seed,
+    )
+}
+
+/// Which register cones to optimize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConeSelection {
+    /// Every register cone, in node order.
+    All,
+    /// Only the `k` registers whose cones are smallest contributors to
+    /// the design PCS (cheapest proxy: processed in ascending cone size).
+    WorstK(usize),
+}
+
+fn node_mask(g: &CircuitGraph, nodes: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; g.node_count()];
+    for &n in nodes {
+        mask[n.index()] = true;
+    }
+    mask
+}
+
+/// Focus node set for a register: its driving cone (members + apex), so
+/// first-swap edges touch the cone's fan-in *or* fan-out boundary.
+fn cone_focus(g: &CircuitGraph, register: NodeId) -> Vec<NodeId> {
+    let cone = syncircuit_graph::cone::driving_cone(g, register);
+    let mut nodes = cone.members;
+    nodes.push(register);
+    nodes
+}
+
+/// Full Phase 3: optimizes the design register by register (paper §VI-A)
+/// with design-level PCS as the reward and cone-focused swap sampling.
+///
+/// Returns the optimized graph and the per-register outcomes.
+pub fn optimize_registers(
+    g: &CircuitGraph,
+    reward_model: &dyn RewardModel,
+    config: &MctsConfig,
+    selection: ConeSelection,
+) -> (CircuitGraph, Vec<MctsOutcome>) {
+    let mut work = g.clone();
+    let mut registers: Vec<NodeId> = all_driving_cones(&work)
+        .into_iter()
+        .map(|c| c.register)
+        .collect();
+    if let ConeSelection::WorstK(k) = selection {
+        // Cheap ranking: smaller cones are likelier to collapse entirely.
+        let mut sized: Vec<(NodeId, usize)> = registers
+            .iter()
+            .map(|&r| (r, syncircuit_graph::cone::driving_cone(&work, r).size()))
+            .collect();
+        sized.sort_by_key(|&(_, s)| s);
+        registers = sized.into_iter().take(k).map(|(r, _)| r).collect();
+    }
+
+    let mut outcomes = Vec::new();
+    for (step, &reg) in registers.iter().enumerate() {
+        let focus = cone_focus(&work, reg);
+        let scope = Scope {
+            focus: Some(node_mask(&work, &focus)),
+            include_sink_inputs: true,
+        };
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(step as u64 * 7919);
+        let outcome = search(&work, &scope, reward_model, &cfg);
+        if outcome.best_reward > outcome.initial_reward {
+            work = outcome.best.clone();
+        }
+        outcomes.push(outcome);
+    }
+    debug_assert!(work.is_valid());
+    (work, outcomes)
+}
+
+/// The random-search counterpart of [`optimize_registers`] (paper
+/// Fig. 4's ablation): identical scope and per-register evaluation
+/// budget, but purely random valid swaps.
+pub fn optimize_registers_random(
+    g: &CircuitGraph,
+    reward_model: &dyn RewardModel,
+    evaluations_per_register: usize,
+    max_depth: usize,
+    selection: ConeSelection,
+    seed: u64,
+) -> (CircuitGraph, Vec<MctsOutcome>) {
+    let mut work = g.clone();
+    let mut registers: Vec<NodeId> = all_driving_cones(&work)
+        .into_iter()
+        .map(|c| c.register)
+        .collect();
+    if let ConeSelection::WorstK(k) = selection {
+        let mut sized: Vec<(NodeId, usize)> = registers
+            .iter()
+            .map(|&r| (r, syncircuit_graph::cone::driving_cone(&work, r).size()))
+            .collect();
+        sized.sort_by_key(|&(_, s)| s);
+        registers = sized.into_iter().take(k).map(|(r, _)| r).collect();
+    }
+    let mut outcomes = Vec::new();
+    for (step, &reg) in registers.iter().enumerate() {
+        let focus = cone_focus(&work, reg);
+        let outcome = optimize_random_walk(
+            &work,
+            Some(&focus),
+            true,
+            reward_model,
+            evaluations_per_register,
+            max_depth,
+            seed.wrapping_add(step as u64 * 104729),
+        );
+        if outcome.best_reward > outcome.initial_reward {
+            work = outcome.best.clone();
+        }
+        outcomes.push(outcome);
+    }
+    (work, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    /// A deliberately redundant cone: the register's driver collapses to
+    /// a constant (xor(x, x) = 0), so PCS starts at rock bottom, but a
+    /// swap can rewire it to productive logic.
+    fn redundant_cone() -> CircuitGraph {
+        let mut g = CircuitGraph::new("redundant");
+        let i1 = g.add_node(NodeType::Input, 8);
+        let i2 = g.add_node(NodeType::Input, 8);
+        let x = g.add_node(NodeType::Xor, 8); // xor(i1, i1) → constant 0
+        let a = g.add_node(NodeType::Add, 8); // add(i2, i2): alive
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(x, &[i1, i1]).unwrap();
+        g.set_parents(a, &[i2, i2]).unwrap();
+        g.set_parents(r, &[x]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        // keep `a` attached to the output cone via a second output
+        let o2 = g.add_node(NodeType::Output, 8);
+        g.set_parents(o2, &[a]).unwrap();
+        g
+    }
+
+    fn scope_all(g: &CircuitGraph) -> Scope {
+        let _ = g;
+        Scope {
+            focus: None,
+            include_sink_inputs: false,
+        }
+    }
+
+    #[test]
+    fn swap_preserves_degrees_and_validity() {
+        let g = redundant_cone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pools = scope_all(&g).pools(&g);
+        let mut applied = 0;
+        for _ in 0..200 {
+            if let Some(sw) = sample_swap(&mut rng, &pools) {
+                if let Some(next) = apply_swap(&g, sw) {
+                    assert!(next.is_valid());
+                    assert_eq!(next.in_degrees(), g.in_degrees());
+                    assert_eq!(next.out_degrees(), g.out_degrees());
+                    assert_eq!(next.edge_count(), g.edge_count());
+                    applied += 1;
+                }
+            }
+        }
+        assert!(applied > 0, "some swaps must be applicable");
+    }
+
+    #[test]
+    fn swap_rejects_same_child() {
+        let g = redundant_cone();
+        let sw = Swap {
+            i: NodeId::new(0),
+            j: NodeId::new(2),
+            p: NodeId::new(0),
+            q: NodeId::new(2),
+        };
+        assert!(apply_swap(&g, sw).is_none());
+    }
+
+    #[test]
+    fn mcts_improves_redundant_cone() {
+        let g = redundant_cone();
+        let reward = ExactSynthReward::new();
+        let mut cfg = MctsConfig::tiny();
+        cfg.simulations = 60;
+        cfg.seed = 5;
+        let out = optimize_cone_mcts(&g, &reward, &cfg);
+        assert!(out.best.is_valid());
+        assert!(
+            out.best_reward > out.initial_reward,
+            "MCTS must find an improvement: {} vs {}",
+            out.best_reward,
+            out.initial_reward
+        );
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn random_ablation_runs_within_budget() {
+        let g = redundant_cone();
+        let reward = ExactSynthReward::new();
+        let out = optimize_cone_random(&g, &reward, 40, 5, 11);
+        assert!(out.best.is_valid());
+        assert!(out.evaluations <= 41);
+        assert!(out.best_reward >= out.initial_reward);
+    }
+
+    #[test]
+    fn optimize_registers_fixes_cone_collapse() {
+        // A redundant register cone that degree-preserving swaps *can*
+        // fix: the dead driver sub(i1, i1) sits next to a mux whose
+        // select can be traded into the subtractor.
+        let mut g = CircuitGraph::new("design");
+        let i1 = g.add_node(NodeType::Input, 8);
+        let sel = g.add_node(NodeType::Input, 1);
+        let s = g.add_node(NodeType::Sub, 8); // sub(i1, i1) = 0
+        let m = g.add_node(NodeType::Mux, 8); // mux(sel, s, s) = s = 0
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s, &[i1, i1]).unwrap();
+        g.set_parents(m, &[sel, s, s]).unwrap();
+        g.set_parents(r, &[m]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+
+        let before = syncircuit_synth::optimize(&g);
+        assert_eq!(before.stats.seq_bits_after, 0, "register must start dead");
+
+        let reward = ExactSynthReward::new();
+        let mut cfg = MctsConfig::tiny();
+        cfg.simulations = 120;
+        cfg.max_depth = 6;
+        let (opt, outcomes) = optimize_registers(&g, &reward, &cfg, ConeSelection::All);
+        assert!(opt.is_valid());
+        assert!(!outcomes.is_empty());
+        let after = syncircuit_synth::optimize(&opt);
+        assert!(
+            after.stats.seq_bits_after > before.stats.seq_bits_after,
+            "SCPR must improve: {:?} -> {:?}",
+            before.stats.seq_bits_after,
+            after.stats.seq_bits_after
+        );
+        // degrees preserved globally
+        assert_eq!(opt.in_degrees(), g.in_degrees());
+        assert_eq!(opt.out_degrees(), g.out_degrees());
+    }
+
+    #[test]
+    fn optimize_registers_fixes_fanout_deadness() {
+        // A register whose value never reaches an output: the only fix
+        // is trading an output's driver into the dead path — exactly
+        // what full-design swaps with sink inputs enable.
+        let mut g = CircuitGraph::new("fanout_dead");
+        let i1 = g.add_node(NodeType::Input, 8);
+        let i2 = g.add_node(NodeType::Input, 8);
+        let dead_r = g.add_node(NodeType::Reg, 8);
+        let sink_n = g.add_node(NodeType::Not, 8); // consumes dead_r, also dead
+        let live_x = g.add_node(NodeType::Xor, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(dead_r, &[i1]).unwrap();
+        g.set_parents(sink_n, &[dead_r]).unwrap();
+        g.set_parents(live_x, &[i1, i2]).unwrap();
+        g.set_parents(o, &[live_x]).unwrap();
+
+        let before = syncircuit_synth::optimize(&g);
+        assert_eq!(before.stats.seq_bits_after, 0, "register starts unobserved");
+
+        let reward = ExactSynthReward::new();
+        let mut cfg = MctsConfig::tiny();
+        cfg.simulations = 150;
+        cfg.max_depth = 6;
+        let (opt, _) = optimize_registers(&g, &reward, &cfg, ConeSelection::All);
+        let after = syncircuit_synth::optimize(&opt);
+        assert!(
+            after.stats.seq_bits_after > 0,
+            "full-design swaps must resurrect the unobserved register"
+        );
+    }
+
+    #[test]
+    fn worst_k_selection_limits_work() {
+        let mut g = CircuitGraph::new("multi");
+        let i = g.add_node(NodeType::Input, 4);
+        let mut prev = i;
+        for _ in 0..4 {
+            let n = g.add_node(NodeType::Not, 4);
+            g.set_parents(n, &[prev]).unwrap();
+            let r = g.add_node(NodeType::Reg, 4);
+            g.set_parents(r, &[n]).unwrap();
+            prev = r;
+        }
+        let o = g.add_node(NodeType::Output, 4);
+        g.set_parents(o, &[prev]).unwrap();
+        let reward = ExactSynthReward::new();
+        let cfg = MctsConfig::tiny();
+        let (_, outcomes) = optimize_registers(&g, &reward, &cfg, ConeSelection::WorstK(2));
+        assert!(outcomes.len() <= 2);
+    }
+
+    #[test]
+    fn random_registers_ablation_is_bounded_and_valid() {
+        let g = redundant_cone();
+        let reward = ExactSynthReward::new();
+        let (opt, outcomes) =
+            optimize_registers_random(&g, &reward, 25, 4, ConeSelection::All, 3);
+        assert!(opt.is_valid());
+        for o in &outcomes {
+            assert!(o.evaluations <= 26);
+            assert!(o.best_reward >= o.initial_reward);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_rewirings() {
+        let g = redundant_cone();
+        let mut g2 = g.clone();
+        g2.set_parents_unchecked(NodeId::new(2), &[NodeId::new(1), NodeId::new(1)]);
+        assert_ne!(adjacency_fingerprint(&g), adjacency_fingerprint(&g2));
+        assert_eq!(adjacency_fingerprint(&g), adjacency_fingerprint(&g.clone()));
+    }
+
+    /// The reward model contract: a cone whose logic survives synthesis
+    /// must score higher than one that collapses.
+    #[test]
+    fn exact_reward_orders_redundancy() {
+        let reward = ExactSynthReward::new();
+        let mut dead = CircuitGraph::new("dead");
+        let i = dead.add_node(NodeType::Input, 8);
+        let x = dead.add_node(NodeType::Xor, 8);
+        let r = dead.add_node(NodeType::Reg, 8);
+        let o = dead.add_node(NodeType::Output, 8);
+        dead.set_parents(x, &[i, i]).unwrap();
+        dead.set_parents(r, &[x]).unwrap();
+        dead.set_parents(o, &[r]).unwrap();
+
+        let mut alive = CircuitGraph::new("alive");
+        let i1 = alive.add_node(NodeType::Input, 8);
+        let i2 = alive.add_node(NodeType::Input, 8);
+        let x = alive.add_node(NodeType::Xor, 8);
+        let r = alive.add_node(NodeType::Reg, 8);
+        let o = alive.add_node(NodeType::Output, 8);
+        alive.set_parents(x, &[i1, i2]).unwrap();
+        alive.set_parents(r, &[x]).unwrap();
+        alive.set_parents(o, &[r]).unwrap();
+
+        assert!(reward.pcs(&alive) > reward.pcs(&dead));
+    }
+
+    #[test]
+    fn swap_never_makes_output_a_parent() {
+        let g = redundant_cone();
+        // attempt to use the output node (5) as a new parent
+        let sw = Swap {
+            i: NodeId::new(5),
+            j: NodeId::new(2),
+            p: NodeId::new(0),
+            q: NodeId::new(3),
+        };
+        assert!(apply_swap(&g, sw).is_none());
+    }
+}

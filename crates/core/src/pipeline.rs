@@ -1,0 +1,406 @@
+//! The end-to-end SynCircuit pipeline (paper §III):
+//!
+//! ```text
+//! P(G) --1--> G_ini --2--> G_val --3--> G_opt
+//! ```
+//!
+//! [`SynCircuit::fit`] learns `P(G | V, X)` from real circuit graphs;
+//! [`SynCircuit::generate`] runs reverse diffusion (Phase 1),
+//! probability-guided validity refinement (Phase 2) and MCTS redundancy
+//! optimization (Phase 3), returning a brand-new synthetic circuit that
+//! satisfies every circuit constraint and synthesizes like a real design.
+
+use crate::attrs::AttrModel;
+use crate::diffusion::{DiffusionConfig, DiffusionModel};
+use crate::discriminator::PcsDiscriminator;
+use crate::mcts::{
+    optimize_registers, ConeSelection, ExactSynthReward, MctsConfig, MctsOutcome, RewardModel,
+};
+use crate::refine::{refine, refine_without_diffusion, RefineConfig, RefineError};
+use rand::{rngs::StdRng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
+use syncircuit_graph::{CircuitGraph, Node};
+
+/// Reward oracle choice for Phase 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewardKind {
+    /// Synthesize every candidate exactly (slow, reference).
+    Exact,
+    /// Train a PCS discriminator on corpus cones and use it as the
+    /// reward (the paper's accelerated setting).
+    Discriminator {
+        /// Training epochs for the discriminator.
+        epochs: usize,
+    },
+}
+
+/// Pipeline configuration bundling the three phases.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Phase 1 (diffusion) hyper-parameters.
+    pub diffusion: DiffusionConfig,
+    /// Phase 2 (validity refinement) options.
+    pub refine: RefineConfig,
+    /// Phase 3 (MCTS) hyper-parameters.
+    pub mcts: MctsConfig,
+    /// Whether to run Phase 3 at all (`false` ⇒ return `G_val`, the
+    /// paper's "SynCircuit w/o opt" ablation).
+    pub optimize_redundancy: bool,
+    /// Which register cones Phase 3 optimizes.
+    pub cone_selection: ConeSelection,
+    /// Reward oracle for Phase 3.
+    pub reward: RewardKind,
+    /// Master seed (training and default generation).
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// Small, fast configuration for tests, doctests and examples.
+    pub fn tiny() -> Self {
+        PipelineConfig {
+            diffusion: DiffusionConfig::tiny(),
+            refine: RefineConfig::default(),
+            mcts: MctsConfig::tiny(),
+            optimize_redundancy: true,
+            cone_selection: ConeSelection::WorstK(4),
+            reward: RewardKind::Exact,
+            seed: 0,
+        }
+    }
+
+    /// Experiment-scale configuration: larger denoiser, more epochs,
+    /// discriminator-accelerated MCTS (the benches use this).
+    pub fn standard() -> Self {
+        PipelineConfig {
+            diffusion: DiffusionConfig {
+                hidden: 48,
+                layers: 3,
+                steps: 9,
+                epochs: 120,
+                lr: 5e-3,
+                neg_ratio: 2.0,
+                decode: crate::diffusion::DecodeMode::Sparse {
+                    candidates_per_node: 16,
+                },
+                grad_clip: 5.0,
+            },
+            refine: RefineConfig::default(),
+            mcts: MctsConfig {
+                simulations: 120,
+                max_depth: 8,
+                ..MctsConfig::default()
+            },
+            optimize_redundancy: true,
+            cone_selection: ConeSelection::All,
+            reward: RewardKind::Discriminator { epochs: 400 },
+            seed: 0,
+        }
+    }
+}
+
+/// Error from pipeline fitting or generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Phase 2 could not satisfy the circuit constraints.
+    Refine(RefineError),
+    /// Training requires a non-empty corpus.
+    EmptyCorpus,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Refine(e) => write!(f, "refinement failed: {e}"),
+            PipelineError::EmptyCorpus => write!(f, "training corpus is empty"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Refine(e) => Some(e),
+            PipelineError::EmptyCorpus => None,
+        }
+    }
+}
+
+impl From<RefineError> for PipelineError {
+    fn from(e: RefineError) -> Self {
+        PipelineError::Refine(e)
+    }
+}
+
+/// One generated circuit with its intermediate artifacts.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The final synthetic circuit (`G_opt`, or `G_val` when Phase 3 is
+    /// disabled).
+    pub graph: CircuitGraph,
+    /// The Phase 2 output `G_val` (before redundancy optimization).
+    pub gval: CircuitGraph,
+    /// Number of edges in the raw diffusion output `G_ini`.
+    pub gini_edges: usize,
+    /// Per-cone MCTS outcomes (empty when Phase 3 is disabled).
+    pub mcts: Vec<MctsOutcome>,
+}
+
+/// A trained SynCircuit generator.
+#[derive(Debug)]
+pub struct SynCircuit {
+    diffusion: DiffusionModel,
+    attrs: AttrModel,
+    discriminator: Option<PcsDiscriminator>,
+    config: PipelineConfig,
+}
+
+impl SynCircuit {
+    /// Learns `P(G | V, X)` from real circuit graphs and prepares the
+    /// Phase 3 reward oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::EmptyCorpus`] when `graphs` is empty.
+    pub fn fit(graphs: &[CircuitGraph], config: PipelineConfig) -> Result<Self, PipelineError> {
+        if graphs.is_empty() {
+            return Err(PipelineError::EmptyCorpus);
+        }
+        let attrs = AttrModel::fit(graphs);
+        let diffusion = DiffusionModel::train(graphs, config.diffusion.clone(), config.seed);
+
+        let discriminator = match config.reward {
+            RewardKind::Exact => None,
+            RewardKind::Discriminator { epochs } => {
+                // Label full designs *and* cones, from the real corpus
+                // and from redundant synthetic circuits, so the regressor
+                // sees both ends of the PCS spectrum at both granularities
+                // (Phase 3 rewards design-level PCS).
+                let mut samples: Vec<CircuitGraph> = Vec::new();
+                for g in graphs {
+                    samples.push(g.clone());
+                    for cone in all_driving_cones(g) {
+                        samples.push(cone_circuit(g, &cone).circuit);
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD15C);
+                use rand::Rng;
+                for k in 0..4 {
+                    let n = 20 + rng.gen_range(0..40);
+                    let sampled_attrs = attrs.sample_attrs(n, &mut rng);
+                    if let Ok(g) = refine_without_diffusion(
+                        &sampled_attrs,
+                        &attrs,
+                        &config.refine,
+                        config.seed ^ (k as u64 + 1),
+                    ) {
+                        for cone in all_driving_cones(&g) {
+                            samples.push(cone_circuit(&g, &cone).circuit);
+                        }
+                        samples.push(g);
+                    }
+                }
+                Some(PcsDiscriminator::train(&samples, epochs, config.seed ^ 0xD15C))
+            }
+        };
+
+        Ok(SynCircuit {
+            diffusion,
+            attrs,
+            discriminator,
+            config,
+        })
+    }
+
+    /// The learned attribute model `P(X)`.
+    pub fn attr_model(&self) -> &AttrModel {
+        &self.attrs
+    }
+
+    /// The trained diffusion model.
+    pub fn diffusion_model(&self) -> &DiffusionModel {
+        &self.diffusion
+    }
+
+    /// Generates one synthetic circuit with `n` nodes, sampling
+    /// attributes from `P(X)`, using the configured master seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Phase 2 failures (degenerate attribute sets).
+    pub fn generate(&self, n: usize) -> Result<Generated, PipelineError> {
+        self.generate_seeded(n, self.config.seed)
+    }
+
+    /// Generates one synthetic circuit with an explicit seed (vary the
+    /// seed to build datasets).
+    pub fn generate_seeded(&self, n: usize, seed: u64) -> Result<Generated, PipelineError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node_attrs = self.attrs.sample_attrs(n, &mut rng);
+        self.generate_with_attrs(&node_attrs, seed)
+    }
+
+    /// Generates conditioned on explicit node attributes (the paper's
+    /// user-specified `V, X` mode, used to mirror an evaluation design).
+    pub fn generate_with_attrs(
+        &self,
+        node_attrs: &[Node],
+        seed: u64,
+    ) -> Result<Generated, PipelineError> {
+        // Phase 1: reverse diffusion.
+        let sampled = self.diffusion.sample(node_attrs, seed.wrapping_add(1));
+        let gini_edges = sampled.parents.iter().map(Vec::len).sum();
+
+        // Phase 2: probability-guided validity refinement.
+        let mut gval = refine(
+            node_attrs,
+            &sampled,
+            &self.attrs,
+            &self.config.refine,
+            seed.wrapping_add(2),
+        )?;
+        gval.set_name(format!("syncircuit_{seed:x}"));
+
+        // Phase 3: MCTS redundancy optimization.
+        if !self.config.optimize_redundancy {
+            return Ok(Generated {
+                graph: gval.clone(),
+                gval,
+                gini_edges,
+                mcts: Vec::new(),
+            });
+        }
+        let mut mcts_cfg = self.config.mcts.clone();
+        mcts_cfg.seed = seed.wrapping_add(3);
+        let exact = ExactSynthReward::new();
+        let reward: &dyn RewardModel = match &self.discriminator {
+            Some(d) => d,
+            None => &exact,
+        };
+        let (graph, outcomes) =
+            optimize_registers(&gval, reward, &mcts_cfg, self.config.cone_selection);
+        Ok(Generated {
+            graph,
+            gval,
+            gini_edges,
+            mcts: outcomes,
+        })
+    }
+
+    /// The "SynCircuit w/o diff" ablation: random edge probabilities with
+    /// the same Phase 2 post-processing (Table II row).
+    pub fn generate_without_diffusion(
+        &self,
+        n: usize,
+        seed: u64,
+    ) -> Result<CircuitGraph, PipelineError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node_attrs = self.attrs.sample_attrs(n, &mut rng);
+        let mut g =
+            refine_without_diffusion(&node_attrs, &self.attrs, &self.config.refine, seed)?;
+        g.set_name(format!("nodiff_{seed:x}"));
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncircuit_graph::testing::random_circuit_with_size;
+    use syncircuit_synth::{optimize, scpr};
+
+    fn corpus() -> Vec<CircuitGraph> {
+        let mut rng = StdRng::seed_from_u64(400);
+        (0..3)
+            .map(|_| random_circuit_with_size(&mut rng, 30))
+            .collect()
+    }
+
+    #[test]
+    fn fit_generate_end_to_end() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let out = model.generate(40).unwrap();
+        assert!(out.graph.is_valid(), "{:?}", out.graph.validate());
+        assert!(out.gval.is_valid());
+        assert_eq!(out.graph.node_count(), 40);
+        // Phase 3 preserves degree sequences.
+        assert_eq!(out.graph.in_degrees(), out.gval.in_degrees());
+        assert_eq!(out.graph.out_degrees(), out.gval.out_degrees());
+    }
+
+    #[test]
+    fn optimization_never_hurts_scpr_materially() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        for seed in 0..3u64 {
+            let out = model.generate_seeded(30, seed).unwrap();
+            let before = scpr(&optimize(&out.gval));
+            let after = scpr(&optimize(&out.graph));
+            assert!(
+                after >= before - 1e-9,
+                "seed {seed}: SCPR degraded {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let a = model.generate_seeded(25, 5).unwrap();
+        let b = model.generate_seeded(25, 5).unwrap();
+        assert_eq!(a.graph, b.graph);
+        let c = model.generate_seeded(25, 6).unwrap();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn without_diffusion_ablation() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let g = model.generate_without_diffusion(30, 9).unwrap();
+        assert!(g.is_valid());
+        assert_eq!(g.node_count(), 30);
+    }
+
+    #[test]
+    fn without_optimization_returns_gval() {
+        let mut cfg = PipelineConfig::tiny();
+        cfg.optimize_redundancy = false;
+        let model = SynCircuit::fit(&corpus(), cfg).unwrap();
+        let out = model.generate_seeded(30, 2).unwrap();
+        assert_eq!(out.graph, out.gval);
+        assert!(out.mcts.is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        assert_eq!(
+            SynCircuit::fit(&[], PipelineConfig::tiny()).unwrap_err(),
+            PipelineError::EmptyCorpus
+        );
+    }
+
+    #[test]
+    fn discriminator_reward_path_works() {
+        let mut cfg = PipelineConfig::tiny();
+        cfg.reward = RewardKind::Discriminator { epochs: 60 };
+        let model = SynCircuit::fit(&corpus(), cfg).unwrap();
+        let out = model.generate_seeded(25, 1).unwrap();
+        assert!(out.graph.is_valid());
+    }
+
+    #[test]
+    fn generated_graphs_are_emittable() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        for seed in 0..3 {
+            let out = model.generate_seeded(30, seed).unwrap();
+            // All bit-selects in range (refinement legalizes; MCTS swap
+            // guards preserve it).
+            for (id, node) in out.graph.iter() {
+                if node.ty() == syncircuit_graph::NodeType::BitSelect {
+                    let pw = out.graph.node(out.graph.parents(id)[0]).width();
+                    assert!(node.aux() as u32 + node.width() <= pw, "seed {seed}");
+                }
+            }
+        }
+    }
+}

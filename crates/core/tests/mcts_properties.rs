@@ -1,0 +1,45 @@
+//! Property tests for Phase 3: optimization preserves the structural
+//! invariants the paper's atomic swap guarantees (degree sequences,
+//! validity, node attributes) on arbitrary valid inputs.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use syncircuit_core::{optimize_registers, ConeSelection, ExactSynthReward, MctsConfig};
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_synth::{optimize, scpr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn phase3_preserves_structure_and_never_hurts(
+        seed in any::<u64>(),
+        n in 15usize..45,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_circuit_with_size(&mut rng, n);
+        let reward = ExactSynthReward::new();
+        let mut cfg = MctsConfig::tiny();
+        cfg.simulations = 15;
+        cfg.seed = seed;
+        let (opt, outcomes) = optimize_registers(&g, &reward, &cfg, ConeSelection::WorstK(3));
+
+        // validity and attribute preservation
+        prop_assert!(opt.is_valid(), "{:?}", opt.validate());
+        prop_assert_eq!(opt.node_count(), g.node_count());
+        for (id, node) in g.iter() {
+            prop_assert_eq!(*opt.node(id), *node, "attributes must not change");
+        }
+        // the atomic swap preserves every degree
+        prop_assert_eq!(opt.in_degrees(), g.in_degrees());
+        prop_assert_eq!(opt.out_degrees(), g.out_degrees());
+        // reward accounting is sane and monotone
+        for o in &outcomes {
+            prop_assert!(o.best_reward >= o.initial_reward);
+        }
+        // SCPR never degrades (optimizer only accepts improvements)
+        let before = scpr(&optimize(&g));
+        let after = scpr(&optimize(&opt));
+        prop_assert!(after >= before - 1e-9, "{before} -> {after}");
+    }
+}

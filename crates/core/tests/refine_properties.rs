@@ -1,0 +1,88 @@
+//! Property tests for Phase 2: whatever the diffusion front-end emits,
+//! refinement must produce constraint-satisfying, emittable circuits.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use syncircuit_core::diffusion::{EdgeProbs, SampledGraph};
+use syncircuit_core::{refine, AttrModel, RefineConfig};
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_graph::{CircuitGraph, NodeType};
+
+fn attr_model() -> AttrModel {
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus: Vec<CircuitGraph> = (0..3)
+        .map(|_| random_circuit_with_size(&mut rng, 40))
+        .collect();
+    AttrModel::fit(&corpus)
+}
+
+/// Arbitrary "diffusion output": random parents and random scored pairs.
+fn arbitrary_sampled(n: usize, seed: u64, density: f64) -> SampledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut probs = EdgeProbs::new(0.0);
+    let mut parents = vec![Vec::new(); n];
+    let pairs = ((n * n) as f64 * density) as usize;
+    for _ in 0..pairs {
+        let i = rng.gen_range(0..n as u32);
+        let j = rng.gen_range(0..n as u32);
+        probs.record(i, j, rng.gen::<f32>());
+        if rng.gen_bool(0.4) {
+            parents[j as usize].push(i);
+        }
+    }
+    SampledGraph { parents, probs }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn refinement_output_always_satisfies_constraints(
+        n in 8usize..60,
+        seed in any::<u64>(),
+        density in 0.0f64..0.3,
+        guidance in any::<bool>(),
+        keep in any::<bool>(),
+    ) {
+        let model = attr_model();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attrs = model.sample_attrs(n, &mut rng);
+        let sampled = arbitrary_sampled(attrs.len(), seed ^ 0xAB, density);
+        let config = RefineConfig { degree_guidance: guidance, keep_valid_parents: keep };
+        let g = refine(&attrs, &sampled, &model, &config, seed).expect("refinable");
+
+        // constraint 1: arity
+        prop_assert!(g.is_valid(), "{:?}", g.validate());
+        // outputs drive nothing, sources driven by nothing
+        for (id, node) in g.iter() {
+            if node.ty() == NodeType::Output {
+                prop_assert!(!g.node_ids().any(|m| g.parents(m).contains(&id)));
+            }
+            if node.ty().is_source() {
+                prop_assert!(g.parents(id).is_empty());
+            }
+        }
+        // emittability: bit-selects in range
+        for (id, node) in g.iter() {
+            if node.ty() == NodeType::BitSelect {
+                let pw = g.node(g.parents(id)[0]).width();
+                prop_assert!(node.aux() as u32 + node.width() <= pw);
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_is_a_function_of_its_inputs(
+        n in 8usize..40,
+        seed in any::<u64>(),
+    ) {
+        let model = attr_model();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attrs = model.sample_attrs(n, &mut rng);
+        let sampled = arbitrary_sampled(attrs.len(), seed ^ 0xCD, 0.1);
+        let config = RefineConfig::default();
+        let a = refine(&attrs, &sampled, &model, &config, seed).expect("refinable");
+        let b = refine(&attrs, &sampled, &model, &config, seed).expect("refinable");
+        prop_assert_eq!(a, b);
+    }
+}

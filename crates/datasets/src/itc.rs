@@ -1,0 +1,160 @@
+//! ITC'99-style designs: FSM-heavy control circuits (the b01–b15 flavor —
+//! state registers, comparator-driven next-state logic, timers,
+//! handshake outputs).
+
+use crate::builder::Builder;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use syncircuit_graph::{CircuitGraph, NodeType};
+
+/// Parametric FSM controller in the ITC'99 style.
+///
+/// * `state_bits` — width of the state register (2..=6 typical);
+/// * `num_timers` — independent timeout counters gated by state;
+/// * `data_width` — width of the datapath the FSM steers.
+pub fn fsm_controller(
+    name: &str,
+    seed: u64,
+    state_bits: u32,
+    num_timers: usize,
+    data_width: u32,
+) -> CircuitGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(name);
+
+    // Control inputs and the steered datapath input.
+    let go = b.input(1);
+    let stop = b.input(1);
+    let data_in = b.input(data_width);
+
+    // State register with priority-mux next-state logic.
+    let state = b.reg_placeholder(state_bits);
+    let num_states = 1u64 << state_bits.min(4);
+
+    // Timers: counters enabled in specific states, with timeout compares.
+    let mut timeouts = Vec::new();
+    let mut timer_regs = Vec::new();
+    for t in 0..num_timers {
+        let timer_w = rng.gen_range(4..=8);
+        let in_state = b.constant(state_bits, (t as u64 + 1) % num_states);
+        let active = b.op2(NodeType::Eq, 1, state, in_state);
+        let one = b.constant(timer_w, 1);
+        let timer = b.reg_placeholder(timer_w);
+        let bumped = b.op2(NodeType::Add, timer_w, timer, one);
+        let zero = b.constant(timer_w, 0);
+        let held = b.mux(active, bumped, zero); // reset when inactive
+        b.drive_reg(timer, held);
+        let limit = b.constant(timer_w, rng.gen_range(3..(1 << timer_w.min(6))));
+        let expired = b.op2(NodeType::Eq, 1, timer, limit);
+        timeouts.push(expired);
+        timer_regs.push(timer);
+    }
+
+    // Next-state priority chain: stop dominates, then timeouts advance,
+    // then go starts, else hold.
+    let idle = b.constant(state_bits, 0);
+    let one_s = b.constant(state_bits, 1);
+    let advanced = b.op2(NodeType::Add, state_bits, state, one_s);
+    let started = b.constant(state_bits, 1);
+    let mut next = state; // hold by default
+    if let Some(&first_timeout) = timeouts.first() {
+        next = b.mux(first_timeout, advanced, next);
+    }
+    for &expired in timeouts.iter().skip(1) {
+        let wrapped = b.mux(expired, advanced, next);
+        next = wrapped;
+    }
+    let go_taken = b.mux(go, started, next);
+    let stopped = b.mux(stop, idle, go_taken);
+    b.drive_reg(state, stopped);
+
+    // Steered datapath: accumulate input while in an "active" state.
+    let active_state = b.constant(state_bits, num_states / 2);
+    let in_active = b.op2(NodeType::Eq, 1, state, active_state);
+    let acc = b.reg_placeholder(data_width);
+    let sum = b.op2(NodeType::Add, data_width, acc, data_in);
+    let acc_next = b.mux(in_active, sum, acc);
+    b.drive_reg(acc, acc_next);
+
+    // Handshake / status outputs.
+    let busy_cmp = b.constant(state_bits, 0);
+    let idle_now = b.op2(NodeType::Eq, 1, state, busy_cmp);
+    let busy = b.not(idle_now);
+    b.output(busy);
+    b.output(acc);
+    b.output(state);
+    for &t in &timer_regs {
+        b.output(t);
+    }
+    // Observation parity keeps stray logic live.
+    let obs = {
+        let d0 = b.bits(acc, 0, 1);
+        let items = [busy, d0, in_active];
+        b.reduce(NodeType::Xor, &items)
+    };
+    b.output(obs);
+
+    b.finish()
+}
+
+/// Sequence detector with a shift register and pattern comparators.
+pub fn sequence_detector(name: &str, seed: u64, window: u32, num_patterns: usize) -> CircuitGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(name);
+    let serial = b.input(1);
+    let enable = b.input(1);
+
+    // window-bit shift register: r' = {r[w-2:0], serial}
+    let shift = b.reg_placeholder(window);
+    let low = b.bits(shift, 0, window - 1);
+    let shifted = b.concat(low, serial);
+    let next = b.mux(enable, shifted, shift);
+    b.drive_reg(shift, next);
+
+    // Pattern match comparators + a hit counter per pattern.
+    let mut hits = Vec::new();
+    for _ in 0..num_patterns {
+        let pat = b.constant(window, rng.gen::<u64>());
+        let m = b.op2(NodeType::Eq, 1, shift, pat);
+        let cnt_w = 6;
+        let cnt = b.reg_placeholder(cnt_w);
+        let one = b.constant(cnt_w, 1);
+        let inc = b.op2(NodeType::Add, cnt_w, cnt, one);
+        let cnt_next = b.mux(m, inc, cnt);
+        b.drive_reg(cnt, cnt_next);
+        b.output(cnt);
+        hits.push(m);
+    }
+    let any = b.reduce(NodeType::Or, &hits);
+    b.output(any);
+    b.output(shift);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsm_controller_is_valid_and_sequential() {
+        let g = fsm_controller("b_test", 1, 3, 2, 8);
+        assert!(g.is_valid(), "{:?}", g.validate());
+        assert!(g.count_of_type(NodeType::Reg) >= 4); // state + acc + timers
+        assert!(g.count_of_type(NodeType::Output) >= 4);
+    }
+
+    #[test]
+    fn sequence_detector_is_valid() {
+        let g = sequence_detector("b_seq", 2, 8, 3);
+        assert!(g.is_valid(), "{:?}", g.validate());
+        assert!(g.count_of_type(NodeType::Reg) >= 4); // shift + 3 counters
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fsm_controller("x", 7, 3, 2, 8);
+        let b2 = fsm_controller("x", 7, 3, 2, 8);
+        assert_eq!(a, b2);
+        let c = fsm_controller("x", 8, 3, 2, 8);
+        assert_ne!(a, c);
+    }
+}

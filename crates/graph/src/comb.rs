@@ -1,0 +1,235 @@
+//! Combinational-loop detection (constraint 2 of the paper's `C`).
+//!
+//! A cycle is *combinational* when no node on it is a register; such a
+//! cycle "would cause timing violations" (§II) and must be prevented. This
+//! module offers a whole-graph check ([`find_comb_loop`]) and the
+//! incremental query used by Phase 2 post-processing
+//! ([`edge_would_close_comb_loop`]): before adding an edge from candidate
+//! parent `j` to node `i`, "check if there exists a path from `i` to `j` in
+//! the subgraph that excludes register-type nodes" (§V).
+
+use crate::circuit::CircuitGraph;
+use crate::node::NodeId;
+
+/// Finds one combinational loop, if any exists.
+///
+/// Runs Tarjan's SCC on the subgraph induced by non-register nodes; any
+/// SCC with more than one node — or a single node with a self-edge — is a
+/// combinational loop. Returns the nodes of one such cycle.
+pub fn find_comb_loop(g: &CircuitGraph) -> Option<Vec<NodeId>> {
+    let children = g.children_index();
+    let sccs = crate::algo::tarjan_scc_filtered(g, &children, |id| !g.ty(id).is_register());
+    for scc in sccs {
+        if scc.len() > 1 {
+            return Some(cycle_within(g, &children, &scc));
+        }
+        let n = scc[0];
+        if !g.ty(n).is_register() && g.has_edge(n, n) {
+            return Some(vec![n]);
+        }
+    }
+    None
+}
+
+/// Returns `true` if the graph contains no combinational loop.
+pub fn is_comb_loop_free(g: &CircuitGraph) -> bool {
+    find_comb_loop(g).is_none()
+}
+
+/// Would adding edge `from → to` close a combinational loop?
+///
+/// The new edge creates a cycle for every existing path `to ⇝ from`; such
+/// a cycle is combinational iff no node on it (including `from` and `to`)
+/// is a register. Therefore: if either endpoint is a register the edge is
+/// always safe; otherwise we search for a path `to ⇝ from` that traverses
+/// only non-register nodes (registers block propagation).
+///
+/// `children` must be the adjacency from
+/// [`CircuitGraph::children_index`], kept in sync with `g` by the caller.
+pub fn edge_would_close_comb_loop(
+    g: &CircuitGraph,
+    children: &[Vec<NodeId>],
+    from: NodeId,
+    to: NodeId,
+) -> bool {
+    if g.ty(from).is_register() || g.ty(to).is_register() {
+        return false;
+    }
+    if from == to {
+        return true; // combinational self-loop
+    }
+    // DFS from `to` over non-register nodes, looking for `from`.
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut stack = vec![to];
+    seen[to.index()] = true;
+    while let Some(u) = stack.pop() {
+        if u == from {
+            return true;
+        }
+        if g.ty(u).is_register() {
+            continue; // do not propagate through registers
+        }
+        for &c in &children[u.index()] {
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    false
+}
+
+/// Extracts one concrete cycle inside a (non-trivial) SCC.
+fn cycle_within(g: &CircuitGraph, children: &[Vec<NodeId>], scc: &[NodeId]) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut in_scc = vec![false; n];
+    for &s in scc {
+        in_scc[s.index()] = true;
+    }
+    // DFS from scc[0] restricted to the SCC until we come back to it.
+    let start = scc[0];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &c in &children[u.index()] {
+            if !in_scc[c.index()] {
+                continue;
+            }
+            if c == start {
+                // reconstruct path start ⇝ u, then the edge u → start
+                let mut path = vec![u];
+                let mut cur = u;
+                while let Some(p) = parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return path;
+            }
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                parent[c.index()] = Some(u);
+                stack.push(c);
+            }
+        }
+    }
+    // An SCC of size > 1 always contains a cycle through its first node.
+    unreachable!("non-trivial SCC must contain a cycle through every member")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeType;
+
+    /// comb cycle: a -> b -> a with no register.
+    fn comb_cycle() -> CircuitGraph {
+        let mut g = CircuitGraph::new("loop");
+        let a = g.add_node(NodeType::Not, 1);
+        let b = g.add_node(NodeType::Not, 1);
+        g.set_parents(a, &[b]).unwrap();
+        g.set_parents(b, &[a]).unwrap();
+        g
+    }
+
+    /// legal cycle: reg -> not -> reg.
+    fn reg_cycle() -> CircuitGraph {
+        let mut g = CircuitGraph::new("regloop");
+        let r = g.add_node(NodeType::Reg, 1);
+        let n = g.add_node(NodeType::Not, 1);
+        g.set_parents(n, &[r]).unwrap();
+        g.set_parents(r, &[n]).unwrap();
+        g
+    }
+
+    #[test]
+    fn detects_comb_cycle() {
+        let g = comb_cycle();
+        let cycle = find_comb_loop(&g).expect("must find the loop");
+        assert_eq!(cycle.len(), 2);
+        assert!(!is_comb_loop_free(&g));
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        let g = reg_cycle();
+        assert!(find_comb_loop(&g).is_none());
+        assert!(is_comb_loop_free(&g));
+    }
+
+    #[test]
+    fn detects_comb_self_loop() {
+        let mut g = CircuitGraph::new("self");
+        let a = g.add_node(NodeType::Not, 1);
+        g.set_parents(a, &[a]).unwrap();
+        let cycle = find_comb_loop(&g).unwrap();
+        assert_eq!(cycle, vec![a]);
+    }
+
+    #[test]
+    fn register_self_loop_is_legal() {
+        let mut g = CircuitGraph::new("regself");
+        let r = g.add_node(NodeType::Reg, 4);
+        g.set_parents(r, &[r]).unwrap();
+        assert!(is_comb_loop_free(&g));
+    }
+
+    #[test]
+    fn incremental_check_matches_paper_rule() {
+        // x -> y (both comb). Adding y -> x would close a comb loop.
+        let mut g = CircuitGraph::new("inc");
+        let x = g.add_node(NodeType::Not, 1);
+        let y = g.add_node(NodeType::Not, 1);
+        g.add_edge(x, y).unwrap();
+        let children = g.children_index();
+        assert!(edge_would_close_comb_loop(&g, &children, y, x));
+        assert!(!edge_would_close_comb_loop(&g, &children, x, y) || g.has_edge(x, y));
+    }
+
+    #[test]
+    fn incremental_check_register_endpoint_safe() {
+        let mut g = CircuitGraph::new("inc2");
+        let x = g.add_node(NodeType::Not, 1);
+        let r = g.add_node(NodeType::Reg, 1);
+        g.add_edge(x, r).unwrap();
+        let children = g.children_index();
+        // r -> x creates a cycle, but it passes through the register.
+        assert!(!edge_would_close_comb_loop(&g, &children, r, x));
+    }
+
+    #[test]
+    fn incremental_check_register_blocks_path() {
+        // a -> r -> b. Adding b -> a creates the cycle a,r,b which contains
+        // a register, hence is legal.
+        let mut g = CircuitGraph::new("inc3");
+        let a = g.add_node(NodeType::Not, 1);
+        let r = g.add_node(NodeType::Reg, 1);
+        let b = g.add_node(NodeType::Not, 1);
+        g.add_edge(a, r).unwrap();
+        g.add_edge(r, b).unwrap();
+        let children = g.children_index();
+        assert!(!edge_would_close_comb_loop(&g, &children, b, a));
+        // But with a pure comb chain a -> c -> b, b -> a would be illegal.
+        let mut g2 = CircuitGraph::new("inc4");
+        let a2 = g2.add_node(NodeType::Not, 1);
+        let c2 = g2.add_node(NodeType::Not, 1);
+        let b2 = g2.add_node(NodeType::Not, 1);
+        g2.add_edge(a2, c2).unwrap();
+        g2.add_edge(c2, b2).unwrap();
+        let children2 = g2.children_index();
+        assert!(edge_would_close_comb_loop(&g2, &children2, b2, a2));
+    }
+
+    #[test]
+    fn incremental_self_loop_comb_vs_reg() {
+        let mut g = CircuitGraph::new("selfinc");
+        let a = g.add_node(NodeType::Not, 1);
+        let r = g.add_node(NodeType::Reg, 1);
+        let children = g.children_index();
+        assert!(edge_would_close_comb_loop(&g, &children, a, a));
+        assert!(!edge_would_close_comb_loop(&g, &children, r, r));
+    }
+}

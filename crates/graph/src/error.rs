@@ -1,0 +1,156 @@
+//! Error types for circuit-graph construction and validation.
+
+use crate::node::{NodeId, NodeType};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while mutating a [`CircuitGraph`](crate::CircuitGraph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced node id is out of range for this graph.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        len: usize,
+    },
+    /// `set_parents` was called with the wrong number of parents.
+    ArityMismatch {
+        /// Node being assigned parents.
+        node: NodeId,
+        /// The node's type.
+        ty: NodeType,
+        /// Parents required by the type.
+        expected: usize,
+        /// Parents supplied.
+        got: usize,
+    },
+    /// Attempted to give parents to a source node (input/const).
+    SourceHasParents {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An edge to remove does not exist.
+    MissingEdge {
+        /// Parent end of the edge.
+        from: NodeId,
+        /// Child end of the edge.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            GraphError::ArityMismatch {
+                node,
+                ty,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node} of type {ty} requires {expected} parents, got {got}"
+            ),
+            GraphError::SourceHasParents { node } => {
+                write!(f, "source node {node} cannot have parents")
+            }
+            GraphError::MissingEdge { from, to } => {
+                write!(f, "edge {from} -> {to} does not exist")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A violation of the paper's circuit constraints `C` found by
+/// [`CircuitGraph::validate`](crate::CircuitGraph::validate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A node has the wrong number of parents for its type.
+    BadArity {
+        /// The offending node.
+        node: NodeId,
+        /// Its type.
+        ty: NodeType,
+        /// Parents required by the type.
+        expected: usize,
+        /// Parents present.
+        got: usize,
+    },
+    /// A cycle exists that passes through no register.
+    CombLoop {
+        /// Nodes on one offending cycle, in traversal order.
+        cycle: Vec<NodeId>,
+    },
+    /// An output port drives other nodes.
+    SinkHasChildren {
+        /// The offending output node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadArity {
+                node,
+                ty,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node} ({ty}) has {got} parents, type requires {expected}"
+            ),
+            ValidateError::CombLoop { cycle } => {
+                write!(f, "combinational loop through ")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            ValidateError::SinkHasChildren { node } => {
+                write!(f, "output node {node} drives other nodes")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::ArityMismatch {
+            node: NodeId::new(3),
+            ty: NodeType::Mux,
+            expected: 3,
+            got: 1,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("n3"));
+        assert!(msg.contains("mux"));
+        assert!(msg.contains('3') && msg.contains('1'));
+
+        let v = ValidateError::CombLoop {
+            cycle: vec![NodeId::new(1), NodeId::new(2)],
+        };
+        assert_eq!(format!("{v}"), "combinational loop through n1 -> n2");
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+        assert_err::<ValidateError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Bit-accurate cycle-level interpreter for circuit graphs.
+//!
+//! The interpreter is the semantic oracle of the project: synthesis
+//! optimization passes must preserve the input/output behaviour observed
+//! here. Evaluation is synchronous: all registers update simultaneously on
+//! a clock tick from the values their D inputs held before the tick.
+
+use crate::algo::comb_topo_order;
+use crate::circuit::CircuitGraph;
+use crate::node::{NodeId, NodeType};
+use std::collections::HashMap;
+
+/// Error raised when a graph cannot be simulated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The graph fails [`CircuitGraph::validate`].
+    Invalid,
+    /// A combinational loop prevents topological evaluation.
+    CombLoop,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Invalid => write!(f, "graph violates circuit constraints"),
+            SimError::CombLoop => write!(f, "combinational loop prevents simulation"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A running simulation of a circuit graph.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g CircuitGraph,
+    order: Vec<NodeId>,
+    /// Current combinational values per node.
+    values: Vec<u64>,
+    /// Register state (Q outputs), indexed by node id.
+    state: Vec<u64>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator with all registers reset to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the graph violates the circuit
+    /// constraints, or [`SimError::CombLoop`] if a combinational cycle
+    /// prevents ordering (implied by the former, distinguished for
+    /// diagnostics).
+    pub fn new(graph: &'g CircuitGraph) -> Result<Self, SimError> {
+        if graph.validate().is_err() {
+            return Err(SimError::Invalid);
+        }
+        let order = comb_topo_order(graph).ok_or(SimError::CombLoop)?;
+        let n = graph.node_count();
+        Ok(Simulator {
+            graph,
+            order,
+            values: vec![0; n],
+            state: vec![0; n],
+            inputs: graph.nodes_of_type(NodeType::Input),
+            outputs: graph.nodes_of_type(NodeType::Output),
+        })
+    }
+
+    /// Primary inputs in node-id order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in node-id order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Evaluates combinational logic for the given input assignment and
+    /// returns the output values, **without** ticking the clock.
+    ///
+    /// Missing inputs default to zero; extra entries are ignored.
+    pub fn eval(&mut self, input_values: &HashMap<NodeId, u64>) -> Vec<u64> {
+        self.propagate(input_values);
+        self.outputs
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Advances one clock cycle: evaluates combinational logic, then
+    /// updates every register from its D input. Returns the output values
+    /// observed *before* the tick (i.e. in this cycle).
+    pub fn step(&mut self, input_values: &HashMap<NodeId, u64>) -> Vec<u64> {
+        let outs = self.eval(input_values);
+        // Simultaneous register update from pre-tick values.
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        for (id, node) in self.graph.iter() {
+            if node.ty().is_register() {
+                let d = self.graph.parents(id)[0];
+                next.push((id, self.values[d.index()] & node.mask()));
+            }
+        }
+        for (id, v) in next {
+            self.state[id.index()] = v;
+        }
+        outs
+    }
+
+    /// Current value of any node (after the last `eval`/`step`).
+    pub fn value(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Forces a register's state (e.g. to model a reset value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a register.
+    pub fn set_register(&mut self, id: NodeId, value: u64) {
+        assert!(self.graph.ty(id).is_register());
+        self.state[id.index()] = value & self.graph.node(id).mask();
+    }
+
+    fn propagate(&mut self, input_values: &HashMap<NodeId, u64>) {
+        for &id in &self.order {
+            let node = self.graph.node(id);
+            let v = match node.ty() {
+                NodeType::Input => input_values.get(&id).copied().unwrap_or(0),
+                NodeType::Const => node.aux(),
+                NodeType::Reg => self.state[id.index()],
+                _ => {
+                    let ps = self.graph.parents(id);
+                    // Concat's shift amount is the low parent's width.
+                    let aux = if node.ty() == NodeType::Concat {
+                        self.graph.node(ps[1]).width() as u64
+                    } else {
+                        node.aux()
+                    };
+                    eval_op(node.ty(), aux, |k| self.values[ps[k].index()])
+                }
+            };
+            self.values[id.index()] = v & node.mask();
+        }
+    }
+}
+
+/// Evaluates a combinational operator given its parent values.
+///
+/// The result is *not* masked to the node width; callers mask.
+///
+/// # Panics
+///
+/// Panics if called with a non-combinational type other than `Output`
+/// (outputs pass their single parent through).
+pub fn eval_op(ty: NodeType, aux: u64, arg: impl Fn(usize) -> u64) -> u64 {
+    use NodeType::*;
+    match ty {
+        Output => arg(0),
+        Not => !arg(0),
+        BitSelect => arg(0) >> (aux as u32 % 64),
+        And => arg(0) & arg(1),
+        Or => arg(0) | arg(1),
+        Xor => arg(0) ^ arg(1),
+        Add => arg(0).wrapping_add(arg(1)),
+        Sub => arg(0).wrapping_sub(arg(1)),
+        Mul => arg(0).wrapping_mul(arg(1)),
+        Eq => (arg(0) == arg(1)) as u64,
+        Lt => (arg(0) < arg(1)) as u64,
+        Shl => {
+            let s = arg(1);
+            if s >= 64 {
+                0
+            } else {
+                arg(0) << s
+            }
+        }
+        Shr => {
+            let s = arg(1);
+            if s >= 64 {
+                0
+            } else {
+                arg(0) >> s
+            }
+        }
+        Concat => {
+            // p1 occupies the low bits; p0 is shifted above it. The shift
+            // amount is p1's width, which the caller passes via `aux`.
+            let w1 = (aux as u32).min(63);
+            if w1 == 0 {
+                arg(0)
+            } else {
+                (arg(0) << w1) | (arg(1) & crate::node::mask(w1))
+            }
+        }
+        Mux => {
+            if arg(0) != 0 {
+                arg(1)
+            } else {
+                arg(2)
+            }
+        }
+        Input | Const | Reg => panic!("eval_op called on non-combinational type {ty}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut g = CircuitGraph::new("ctr");
+        let one = g.add_const(8, 1);
+        let r = g.add_node(NodeType::Reg, 8);
+        let s = g.add_node(NodeType::Add, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s, &[r, one]).unwrap();
+        g.set_parents(r, &[s]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+
+        let mut sim = Simulator::new(&g).unwrap();
+        let empty = HashMap::new();
+        for expect in 0u64..5 {
+            let outs = sim.step(&empty);
+            assert_eq!(outs, vec![expect]);
+        }
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut g = CircuitGraph::new("ctr2");
+        let one = g.add_const(2, 1);
+        let r = g.add_node(NodeType::Reg, 2);
+        let s = g.add_node(NodeType::Add, 2);
+        let o = g.add_node(NodeType::Output, 2);
+        g.set_parents(s, &[r, one]).unwrap();
+        g.set_parents(r, &[s]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        let mut sim = Simulator::new(&g).unwrap();
+        let empty = HashMap::new();
+        let seq: Vec<u64> = (0..6).map(|_| sim.step(&empty)[0]).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut g = CircuitGraph::new("mux");
+        let s = g.add_node(NodeType::Input, 1);
+        let a = g.add_node(NodeType::Input, 8);
+        let b = g.add_node(NodeType::Input, 8);
+        let m = g.add_node(NodeType::Mux, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(m, &[s, a, b]).unwrap();
+        g.set_parents(o, &[m]).unwrap();
+        let mut sim = Simulator::new(&g).unwrap();
+        let mut iv = HashMap::new();
+        iv.insert(s, 1u64);
+        iv.insert(a, 0xAA);
+        iv.insert(b, 0x55);
+        assert_eq!(sim.eval(&iv), vec![0xAA]);
+        iv.insert(s, 0);
+        assert_eq!(sim.eval(&iv), vec![0x55]);
+    }
+
+    #[test]
+    fn arithmetic_ops_masked() {
+        let mut g = CircuitGraph::new("ops");
+        let a = g.add_node(NodeType::Input, 4);
+        let b = g.add_node(NodeType::Input, 4);
+        let add = g.add_node(NodeType::Add, 4);
+        let lt = g.add_node(NodeType::Lt, 1);
+        let o1 = g.add_node(NodeType::Output, 4);
+        let o2 = g.add_node(NodeType::Output, 1);
+        g.set_parents(add, &[a, b]).unwrap();
+        g.set_parents(lt, &[a, b]).unwrap();
+        g.set_parents(o1, &[add]).unwrap();
+        g.set_parents(o2, &[lt]).unwrap();
+        let mut sim = Simulator::new(&g).unwrap();
+        let mut iv = HashMap::new();
+        iv.insert(a, 9u64);
+        iv.insert(b, 8u64);
+        let outs = sim.eval(&iv);
+        assert_eq!(outs[0], (9 + 8) & 0xF);
+        assert_eq!(outs[1], 0); // 9 < 8 is false
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let mut g = CircuitGraph::new("bad");
+        g.add_node(NodeType::Add, 4); // missing parents
+        assert_eq!(Simulator::new(&g).unwrap_err(), SimError::Invalid);
+    }
+
+    #[test]
+    fn bitselect_offset() {
+        let mut g = CircuitGraph::new("bs");
+        let a = g.add_node(NodeType::Input, 8);
+        let bs = g.add_bit_select(2, 4); // bits [5:4]
+        let o = g.add_node(NodeType::Output, 2);
+        g.set_parents(bs, &[a]).unwrap();
+        g.set_parents(o, &[bs]).unwrap();
+        let mut sim = Simulator::new(&g).unwrap();
+        let mut iv = HashMap::new();
+        iv.insert(a, 0b0011_0000u64);
+        assert_eq!(sim.eval(&iv), vec![0b11]);
+    }
+
+    #[test]
+    fn set_register_forces_state() {
+        let mut g = CircuitGraph::new("force");
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(r, &[r]).unwrap(); // hold register
+        g.set_parents(o, &[r]).unwrap();
+        let mut sim = Simulator::new(&g).unwrap();
+        sim.set_register(r, 42);
+        assert_eq!(sim.step(&HashMap::new()), vec![42]);
+        assert_eq!(sim.step(&HashMap::new()), vec![42]); // holds
+    }
+}

@@ -1,0 +1,124 @@
+//! Whole-graph validation against the paper's circuit constraints `C`.
+
+use crate::circuit::CircuitGraph;
+use crate::comb;
+use crate::error::ValidateError;
+
+impl CircuitGraph {
+    /// Checks the paper's circuit constraints `C` (§II):
+    ///
+    /// 1. every node has exactly the number of parents its type requires;
+    /// 2. no combinational loop exists;
+    ///
+    /// plus the structural port rule that output nodes drive nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation found (arity errors for all nodes, at most
+    /// one representative combinational loop, and all offending outputs).
+    pub fn validate(&self) -> Result<(), Vec<ValidateError>> {
+        let mut errors = Vec::new();
+        for (id, node) in self.iter() {
+            let expected = node.ty().arity();
+            let got = self.parents(id).len();
+            if got != expected {
+                errors.push(ValidateError::BadArity {
+                    node: id,
+                    ty: node.ty(),
+                    expected,
+                    got,
+                });
+            }
+        }
+        let children = self.children_index();
+        for (id, node) in self.iter() {
+            if node.ty().is_sink() && !children[id.index()].is_empty() {
+                errors.push(ValidateError::SinkHasChildren { node: id });
+            }
+        }
+        if let Some(cycle) = comb::find_comb_loop(self) {
+            errors.push(ValidateError::CombLoop { cycle });
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// `true` when [`CircuitGraph::validate`] succeeds.
+    pub fn is_valid(&self) -> bool {
+        self.validate().is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeType;
+
+    #[test]
+    fn valid_counter() {
+        let mut g = CircuitGraph::new("ctr");
+        let one = g.add_const(8, 1);
+        let r = g.add_node(NodeType::Reg, 8);
+        let s = g.add_node(NodeType::Add, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s, &[r, one]).unwrap();
+        g.set_parents(r, &[s]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        assert!(g.is_valid());
+    }
+
+    #[test]
+    fn reports_all_arity_errors() {
+        let mut g = CircuitGraph::new("bad");
+        g.add_node(NodeType::Add, 8); // 0 of 2 parents
+        g.add_node(NodeType::Mux, 8); // 0 of 3 parents
+        let errs = g.validate().unwrap_err();
+        let arity = errs
+            .iter()
+            .filter(|e| matches!(e, ValidateError::BadArity { .. }))
+            .count();
+        assert_eq!(arity, 2);
+    }
+
+    #[test]
+    fn reports_comb_loop() {
+        let mut g = CircuitGraph::new("loop");
+        let a = g.add_node(NodeType::Not, 1);
+        let b = g.add_node(NodeType::Not, 1);
+        g.set_parents(a, &[b]).unwrap();
+        g.set_parents(b, &[a]).unwrap();
+        let errs = g.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::CombLoop { .. })));
+    }
+
+    #[test]
+    fn reports_output_with_children() {
+        let mut g = CircuitGraph::new("sink");
+        let i = g.add_node(NodeType::Input, 1);
+        let o = g.add_node(NodeType::Output, 1);
+        let n = g.add_node(NodeType::Not, 1);
+        g.set_parents(o, &[i]).unwrap();
+        g.set_parents(n, &[o]).unwrap();
+        let errs = g.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::SinkHasChildren { .. })));
+    }
+
+    #[test]
+    fn source_with_parents_is_arity_error() {
+        let mut g = CircuitGraph::new("src");
+        let i = g.add_node(NodeType::Input, 1);
+        let c = g.add_node(NodeType::Const, 1);
+        g.add_edge(c, i).unwrap(); // unchecked edge into an input
+        let errs = g.validate().unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidateError::BadArity { expected: 0, got: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the HDL bijection: `parse(emit(g)) == g` on random
+//! valid circuits, plus parser robustness on arbitrary inputs.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use syncircuit_graph::testing::{random_valid_circuit, RandomCircuitConfig};
+use syncircuit_hdl::{emit, parse};
+
+#[test]
+fn roundtrip_many_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(0xC1C1);
+    for i in 0..100 {
+        let config = RandomCircuitConfig {
+            num_nodes: 10 + (i % 80),
+            ..RandomCircuitConfig::default()
+        };
+        let g = random_valid_circuit(&mut rng, &config);
+        let verilog = emit(&g).unwrap_or_else(|e| panic!("emit failed at iter {i}: {e}"));
+        let parsed = parse(&verilog).unwrap_or_else(|e| panic!("parse failed at iter {i}: {e}"));
+        assert_eq!(parsed, g, "round-trip mismatch at iter {i}");
+    }
+}
+
+#[test]
+fn emitted_verilog_is_reparsable_after_reprint() {
+    // emit → parse → emit must be a fixpoint (idempotent printing).
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..20 {
+        let g = random_valid_circuit(&mut rng, &RandomCircuitConfig::default());
+        let v1 = emit(&g).unwrap();
+        let g2 = parse(&v1).unwrap();
+        let v2 = emit(&g2).unwrap();
+        assert_eq!(v1, v2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,400}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_verilogish_input(
+        body in proptest::collection::vec(
+            prop_oneof![
+                Just("assign n0 = n1 + n2;".to_string()),
+                Just("wire [7:0] n1;".to_string()),
+                Just("reg n2;".to_string()),
+                Just("always @(posedge clk) n2 <= n0;".to_string()),
+                Just("input wire [3:0] n0;".to_string()),
+                Just("output wire n3;".to_string()),
+                Just("assign n3 = n0;".to_string()),
+                Just("garbage ;; [[".to_string()),
+            ],
+            0..12,
+        )
+    ) {
+        let src = format!(
+            "module m (clk);\n  input wire clk;\n{}\nendmodule\n",
+            body.join("\n")
+        );
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn roundtrip_proptest_seeds(seed in any::<u64>(), size in 8usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = RandomCircuitConfig { num_nodes: size, ..RandomCircuitConfig::default() };
+        let g = random_valid_circuit(&mut rng, &config);
+        let v = emit(&g).unwrap();
+        let parsed = parse(&v).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+}

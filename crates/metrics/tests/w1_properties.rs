@@ -1,0 +1,74 @@
+//! Property tests for the 1-Wasserstein metric: identity, symmetry,
+//! triangle inequality, translation equivariance, and agreement with a
+//! brute-force transport computation on equal-size samples.
+
+use proptest::prelude::*;
+use syncircuit_metrics::w1_distance;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn identity(a in samples()) {
+        prop_assert!(w1_distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn symmetry(a in samples(), b in samples()) {
+        let d1 = w1_distance(&a, &b);
+        let d2 = w1_distance(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_negative(a in samples(), b in samples()) {
+        prop_assert!(w1_distance(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in samples(), b in samples(), c in samples()) {
+        let ab = w1_distance(&a, &b);
+        let bc = w1_distance(&b, &c);
+        let ac = w1_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn translation_equivariance(a in samples(), shift in -50.0f64..50.0) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let d = w1_distance(&a, &b);
+        prop_assert!((d - shift.abs()).abs() < 1e-9, "{d} vs {}", shift.abs());
+    }
+
+    #[test]
+    fn matches_sorted_assignment_for_equal_sizes(
+        mut a in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        seed in any::<u64>(),
+    ) {
+        // For equal-size samples, W1 = mean |sorted(a)_i - sorted(b)_i|.
+        let mut b: Vec<f64> = a.iter().map(|x| {
+            // deterministic pseudo-shuffle of values derived from a
+            let h = seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+            x + ((h % 100) as f64) / 10.0
+        }).collect();
+        let d = w1_distance(&a, &b);
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        let brute: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+            / a.len() as f64;
+        prop_assert!((d - brute).abs() < 1e-9, "{d} vs {brute}");
+    }
+
+    #[test]
+    fn scale_equivariance(a in samples(), b in samples(), k in 0.1f64..10.0) {
+        let ka: Vec<f64> = a.iter().map(|x| x * k).collect();
+        let kb: Vec<f64> = b.iter().map(|x| x * k).collect();
+        let d = w1_distance(&a, &b);
+        let kd = w1_distance(&ka, &kb);
+        prop_assert!((kd - k * d).abs() < 1e-6 * (1.0 + kd), "{kd} vs {}", k * d);
+    }
+}

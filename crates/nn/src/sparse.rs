@@ -1,0 +1,191 @@
+//! Row-normalized sparse adjacency for mean-over-parents message passing.
+//!
+//! The paper's encoder aggregates `1/|P(j)| · Σ_{i∈P(j)} W H_i` (§IV-C).
+//! [`RowNormAdj`] stores that operator as a CSR matrix `A` with
+//! `A[j][i] = 1/|P(j)|` for every parent `i` of `j`, together with its
+//! transpose for the backward pass.
+
+use crate::matrix::Matrix;
+
+/// CSR sparse matrix with values, plus a transposed copy for backprop.
+#[derive(Clone, Debug)]
+pub struct RowNormAdj {
+    n: usize,
+    // forward: out[j] = Σ_i val * x[i]
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    val: Vec<f32>,
+    // transpose (same layout)
+    t_row_ptr: Vec<u32>,
+    t_col_idx: Vec<u32>,
+    t_val: Vec<f32>,
+}
+
+impl RowNormAdj {
+    /// Builds the mean-over-parents operator from parent lists:
+    /// `parents[j]` lists the parents of node `j` (duplicates allowed and
+    /// weighted accordingly).
+    pub fn from_parents(parents: &[Vec<u32>]) -> Self {
+        let n = parents.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut val = Vec::new();
+        row_ptr.push(0u32);
+        for ps in parents {
+            let w = if ps.is_empty() { 0.0 } else { 1.0 / ps.len() as f32 };
+            for &p in ps {
+                col_idx.push(p);
+                val.push(w);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        // Build transpose by counting then filling.
+        let mut t_counts = vec![0u32; n];
+        for &c in &col_idx {
+            t_counts[c as usize] += 1;
+        }
+        let mut t_row_ptr = vec![0u32; n + 1];
+        for i in 0..n {
+            t_row_ptr[i + 1] = t_row_ptr[i] + t_counts[i];
+        }
+        let nnz = col_idx.len();
+        let mut t_col_idx = vec![0u32; nnz];
+        let mut t_val = vec![0f32; nnz];
+        let mut cursor = t_row_ptr.clone();
+        for j in 0..n {
+            for k in row_ptr[j] as usize..row_ptr[j + 1] as usize {
+                let i = col_idx[k] as usize;
+                let pos = cursor[i] as usize;
+                t_col_idx[pos] = j as u32;
+                t_val[pos] = val[k];
+                cursor[i] += 1;
+            }
+        }
+        RowNormAdj {
+            n,
+            row_ptr,
+            col_idx,
+            val,
+            t_row_ptr,
+            t_col_idx,
+            t_val,
+        }
+    }
+
+    /// Number of nodes (rows/cols of the square operator).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the operator has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sparse-dense product `A × X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.len()`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        spmm(
+            self.n,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.val,
+            x,
+        )
+    }
+
+    /// Transposed product `Aᵀ × X` (used by the backward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.len()`.
+    pub fn matmul_transposed(&self, x: &Matrix) -> Matrix {
+        spmm(
+            self.n,
+            &self.t_row_ptr,
+            &self.t_col_idx,
+            &self.t_val,
+            x,
+        )
+    }
+}
+
+fn spmm(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix) -> Matrix {
+    assert_eq!(x.rows(), n, "spmm row mismatch");
+    let d = x.cols();
+    let mut out = Matrix::zeros(n, d);
+    for j in 0..n {
+        for k in row_ptr[j] as usize..row_ptr[j + 1] as usize {
+            let i = col_idx[k] as usize;
+            let w = val[k];
+            let src = x.row(i);
+            let dst = &mut out.data_mut()[j * d..(j + 1) * d];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += w * s;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_aggregation() {
+        // node 2 has parents {0, 1}: out[2] = (x0 + x1) / 2
+        let parents = vec![vec![], vec![], vec![0, 1]];
+        let a = RowNormAdj::from_parents(&parents);
+        let x = Matrix::from_rows(&[&[2., 4.], &[6., 8.], &[100., 100.]]);
+        let y = a.matmul(&x);
+        assert_eq!(y.row(0), &[0., 0.]);
+        assert_eq!(y.row(1), &[0., 0.]);
+        assert_eq!(y.row(2), &[4., 6.]);
+    }
+
+    #[test]
+    fn duplicate_parents_weighted() {
+        let parents = vec![vec![], vec![0, 0]];
+        let a = RowNormAdj::from_parents(&parents);
+        let x = Matrix::from_rows(&[&[3.0], &[0.0]]);
+        let y = a.matmul(&x);
+        assert_eq!(y.at(1, 0), 3.0); // (3 + 3) / 2
+    }
+
+    #[test]
+    fn transpose_consistency_with_dense() {
+        let parents = vec![vec![1, 2], vec![2], vec![], vec![0, 1, 2]];
+        let a = RowNormAdj::from_parents(&parents);
+        let n = 4;
+        // dense A
+        let mut dense = Matrix::zeros(n, n);
+        for (j, ps) in parents.iter().enumerate() {
+            for &i in ps {
+                *dense.at_mut(j, i as usize) += 1.0 / ps.len() as f32;
+            }
+        }
+        let x = Matrix::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.], &[7., 8.]]);
+        let sparse_fwd = a.matmul(&x);
+        let dense_fwd = dense.matmul(&x);
+        for (s, d) in sparse_fwd.data().iter().zip(dense_fwd.data()) {
+            assert!((s - d).abs() < 1e-6);
+        }
+        let sparse_t = a.matmul_transposed(&x);
+        let dense_t = dense.transpose().matmul(&x);
+        for (s, d) in sparse_t.data().iter().zip(dense_t.data()) {
+            assert!((s - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_operator() {
+        let a = RowNormAdj::from_parents(&[]);
+        assert!(a.is_empty());
+        let y = a.matmul(&Matrix::zeros(0, 3));
+        assert_eq!(y.shape(), (0, 3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Pre-synthesis feature extraction.
+//!
+//! Design-level features follow the MasterRTL recipe (structural counts,
+//! bit totals, depth and fan-out statistics, and cheap area/delay
+//! proxies computable without synthesis); per-register features follow
+//! RTL-Timer (driving-cone shape statistics for fine-grained slack
+//! prediction).
+
+use syncircuit_graph::algo::comb_depth;
+use syncircuit_graph::cone::{cone_circuit, driving_cone};
+use syncircuit_graph::{CircuitGraph, NodeId, NodeType, ALL_NODE_TYPES};
+use syncircuit_synth::timing_analysis;
+
+/// Number of design-level features.
+pub const DESIGN_FEATURE_DIM: usize = ALL_NODE_TYPES.len() + 14;
+
+/// Design-level feature vector (area / WNS / TNS prediction).
+pub fn design_features(g: &CircuitGraph) -> Vec<f64> {
+    let n = g.node_count().max(1) as f64;
+    let mut f = Vec::with_capacity(DESIGN_FEATURE_DIM);
+    // type fractions
+    let mut counts = vec![0.0f64; ALL_NODE_TYPES.len()];
+    let mut total_bits = 0.0;
+    let mut max_width = 0.0f64;
+    let mut area_proxy = 0.0;
+    let mut delay_proxy_max = 0.0f64;
+    for (_, node) in g.iter() {
+        counts[node.ty().category()] += 1.0;
+        let w = node.width() as f64;
+        total_bits += w;
+        max_width = max_width.max(w);
+        area_proxy += match node.ty() {
+            NodeType::Mul => w * w * 1.6,
+            NodeType::Add | NodeType::Sub => w * 2.2,
+            NodeType::Reg => w * 4.5,
+            NodeType::Mux => w * 1.1,
+            NodeType::And | NodeType::Or => w * 0.8,
+            NodeType::Xor => w * 1.2,
+            NodeType::Not => w * 0.4,
+            NodeType::Eq | NodeType::Lt => w,
+            NodeType::Shl | NodeType::Shr => w * (w.max(2.0)).log2(),
+            _ => 0.0,
+        };
+        let d = match node.ty() {
+            NodeType::Mul => 2.0 * w * 0.09,
+            NodeType::Add | NodeType::Sub => w * 0.09,
+            _ => 0.1,
+        };
+        delay_proxy_max = delay_proxy_max.max(d);
+    }
+    f.extend(counts.iter().map(|c| c / n));
+    let out_degs = g.out_degrees();
+    let mean_fan = out_degs.iter().sum::<usize>() as f64 / n;
+    let max_fan = out_degs.iter().copied().max().unwrap_or(0) as f64;
+    let depth = comb_depth(g).unwrap_or(0) as f64;
+    f.push(n.ln());
+    f.push((g.edge_count().max(1) as f64).ln());
+    f.push(total_bits / n / 64.0);
+    f.push(max_width / 64.0);
+    f.push(g.register_bits() as f64 / total_bits.max(1.0));
+    f.push(depth / 32.0);
+    f.push(depth / n);
+    f.push(mean_fan / 4.0);
+    f.push(max_fan.ln_1p() / 6.0);
+    f.push((area_proxy.max(1.0)).ln() / 12.0);
+    f.push(area_proxy / 1000.0); // linear proxy: area ≈ α·proxy
+    f.push(delay_proxy_max);
+    f.push(depth * delay_proxy_max / 16.0);
+    // Pre-synthesis critical-path estimate: a static longest-path sweep
+    // over per-cell delay estimates on the *unsynthesized* RTL graph
+    // (MasterRTL-style path feature; no synthesis involved).
+    f.push(timing_analysis(g, 1e9).critical_delay / 8.0);
+    debug_assert_eq!(f.len(), DESIGN_FEATURE_DIM);
+    f
+}
+
+/// Number of per-register features.
+pub const REGISTER_FEATURE_DIM: usize = ALL_NODE_TYPES.len() + 9;
+
+/// Per-register driving-cone features (register-slack prediction).
+///
+/// # Panics
+///
+/// Panics if `reg` is not a register of `g`.
+pub fn register_features(g: &CircuitGraph, reg: NodeId) -> Vec<f64> {
+    let cone = driving_cone(g, reg);
+    let cc = cone_circuit(g, &cone);
+    let sub = &cc.circuit;
+    let n = sub.node_count().max(1) as f64;
+    let mut counts = vec![0.0f64; ALL_NODE_TYPES.len()];
+    let mut arith_delay = 0.0;
+    for (_, node) in sub.iter() {
+        counts[node.ty().category()] += 1.0;
+        let w = node.width() as f64;
+        arith_delay += match node.ty() {
+            NodeType::Mul => 2.0 * w * 0.09,
+            NodeType::Add | NodeType::Sub => w * 0.09,
+            NodeType::Eq | NodeType::Lt | NodeType::Shl | NodeType::Shr => {
+                (w.max(2.0)).log2() * 0.07
+            }
+            ty if ty.is_combinational() => 0.07,
+            _ => 0.0,
+        };
+    }
+    let depth = comb_depth(sub).unwrap_or(0) as f64;
+    let mut f = Vec::with_capacity(REGISTER_FEATURE_DIM);
+    f.extend(counts.iter().map(|c| c / n));
+    f.push(n.ln() / 8.0);
+    f.push(cone.members.len() as f64 / n);
+    f.push(cone.boundary.len() as f64 / n);
+    f.push(depth / 16.0);
+    f.push(g.node(reg).width() as f64 / 64.0);
+    f.push(arith_delay / 8.0);
+    f.push(depth * arith_delay / 64.0);
+    f.push((g.parents(reg).len()) as f64);
+    // Pre-synthesis arrival estimate at this register's D input: static
+    // longest path through its standalone driving cone (RTL-Timer-style).
+    f.push(timing_analysis(sub, 1e9).critical_delay / 8.0);
+    debug_assert_eq!(f.len(), REGISTER_FEATURE_DIM);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use syncircuit_graph::testing::random_circuit_with_size;
+
+    #[test]
+    fn design_features_finite_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = random_circuit_with_size(&mut rng, 50);
+            let f = design_features(&g);
+            assert_eq!(f.len(), DESIGN_FEATURE_DIM);
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn register_features_finite_and_sized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_circuit_with_size(&mut rng, 50);
+        for r in g.nodes_of_type(NodeType::Reg) {
+            let f = register_features(&g, r);
+            assert_eq!(f.len(), REGISTER_FEATURE_DIM);
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn bigger_designs_have_bigger_area_proxy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = random_circuit_with_size(&mut rng, 20);
+        let large = random_circuit_with_size(&mut rng, 200);
+        let fs = design_features(&small);
+        let fl = design_features(&large);
+        // log-node-count feature
+        let idx = ALL_NODE_TYPES.len();
+        assert!(fl[idx] > fs[idx]);
+    }
+
+    #[test]
+    fn deeper_cones_score_deeper() {
+        use syncircuit_graph::CircuitGraph;
+        let mut g = CircuitGraph::new("d");
+        let i = g.add_node(NodeType::Input, 8);
+        let mut prev = i;
+        for _ in 0..6 {
+            let a = g.add_node(NodeType::Add, 8);
+            g.set_parents(a, &[prev, i]).unwrap();
+            prev = a;
+        }
+        let deep_reg = g.add_node(NodeType::Reg, 8);
+        g.set_parents(deep_reg, &[prev]).unwrap();
+        let shallow_reg = g.add_node(NodeType::Reg, 8);
+        g.set_parents(shallow_reg, &[i]).unwrap();
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(o, &[deep_reg]).unwrap();
+        let o2 = g.add_node(NodeType::Output, 8);
+        g.set_parents(o2, &[shallow_reg]).unwrap();
+
+        let fd = register_features(&g, deep_reg);
+        let fs = register_features(&g, shallow_reg);
+        let depth_idx = ALL_NODE_TYPES.len() + 3;
+        assert!(fd[depth_idx] > fs[depth_idx]);
+    }
+}

@@ -1,0 +1,44 @@
+//! RTL-stage PPA prediction for the SynCircuit downstream evaluation
+//! (paper §VII-B.3, Table III).
+//!
+//! Machine-learning PPA predictors estimate post-synthesis quality
+//! directly from RTL, skipping logic synthesis in the design loop
+//! (MasterRTL for design-level area/WNS/TNS, RTL-Timer for per-register
+//! slack). Their weakness is data hunger — exactly the problem SynCircuit
+//! attacks with synthetic circuits. This crate implements the full task:
+//!
+//! - [`features`] — pre-synthesis design-level and per-register features;
+//! - [`regress`] — closed-form ridge regression plus the paper's metrics
+//!   (correlation `R`, MAPE, RRSE);
+//! - [`task`] — dataset labeling via the synthesis simulator, the
+//!   train/evaluate loop, and the augmentation experiment used to
+//!   regenerate Table III.
+//!
+//! # Example
+//!
+//! ```
+//! use syncircuit_ppa::task::{label_all, run_task};
+//! use syncircuit_synth::LabelConfig;
+//! use syncircuit_graph::testing::random_circuit_with_size;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let designs: Vec<_> = (0..8).map(|_| random_circuit_with_size(&mut rng, 40)).collect();
+//! let labeled = label_all(&designs, &LabelConfig::default());
+//! let report = run_task(&labeled[..6], &labeled[6..], 1e-2);
+//! assert!(report.contains_key(&syncircuit_ppa::Target::Area));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod features;
+pub mod regress;
+pub mod task;
+
+pub use features::{design_features, register_features, DESIGN_FEATURE_DIM, REGISTER_FEATURE_DIM};
+pub use regress::{mape, pearson_r, rrse, Ridge};
+pub use task::{
+    label_all, run_augmentation_experiment, run_task, LabeledDesign, PpaReport, Target,
+    TargetScores,
+};

@@ -1,0 +1,587 @@
+//! Synthesis optimization passes.
+//!
+//! [`optimize`] runs constant propagation, algebraic identity rewriting,
+//! common-subexpression elimination and dead-code elimination to a
+//! fixpoint, then compacts the surviving logic into a fresh netlist
+//! graph. These are exactly the mechanisms that make redundant synthetic
+//! circuits collapse during real synthesis (the paper's SCPR story, §VI).
+//!
+//! # Sequential constant propagation
+//!
+//! A register whose D input is tied to a constant is replaced by that
+//! constant. This assumes the register initializes to its tied value
+//! (one reachable state), matching how synthesis sweeps constant
+//! registers; it makes the optimized circuit equivalent to the original
+//! only *after* an initialization transient, which the semantics
+//! property tests account for.
+
+use crate::area::{area_of_graph, gate_count, CellLibrary};
+use std::collections::HashMap;
+use syncircuit_graph::interp::eval_op;
+use syncircuit_graph::{mask, CircuitGraph, Node, NodeId, NodeType};
+
+/// Aggregate statistics of one synthesis run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SynthStats {
+    /// Node count of the input design.
+    pub nodes_before: usize,
+    /// Node count of the optimized netlist.
+    pub nodes_after: usize,
+    /// Cell area of the input design.
+    pub area_before: f64,
+    /// Cell area of the optimized netlist.
+    pub area_after: f64,
+    /// Register bits before synthesis (SCPR denominator).
+    pub seq_bits_before: u64,
+    /// Register bits surviving synthesis (SCPR numerator).
+    pub seq_bits_after: u64,
+    /// NAND2-equivalent gates before synthesis.
+    pub gates_before: u64,
+    /// NAND2-equivalent gates after synthesis.
+    pub gates_after: u64,
+}
+
+/// Output of [`optimize`]: the compacted netlist plus statistics and a
+/// map from original registers to surviving netlist registers.
+#[derive(Clone, Debug)]
+pub struct SynthResult {
+    /// The optimized, compacted netlist.
+    pub netlist: CircuitGraph,
+    /// Before/after statistics.
+    pub stats: SynthStats,
+    /// Maps each original register to the netlist register that now holds
+    /// its state (absent when the register was swept or folded to a
+    /// constant). Merged registers map to the same netlist node.
+    pub reg_map: HashMap<NodeId, NodeId>,
+}
+
+/// Runs the full optimization pipeline with the default cell library.
+///
+/// # Panics
+///
+/// Debug-asserts that the input graph is valid (correct arities, no
+/// combinational loops); optimizing an invalid graph is unspecified.
+pub fn optimize(g: &CircuitGraph) -> SynthResult {
+    optimize_with(g, &CellLibrary::default())
+}
+
+/// Runs the full optimization pipeline with an explicit cell library.
+pub fn optimize_with(g: &CircuitGraph, lib: &CellLibrary) -> SynthResult {
+    debug_assert!(g.is_valid(), "optimize requires a valid graph");
+    let n = g.node_count();
+    let mut nodes: Vec<Node> = g.iter().map(|(_, node)| *node).collect();
+    let mut parents: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            g.parents(NodeId::new(i))
+                .iter()
+                .map(|p| p.index())
+                .collect()
+        })
+        .collect();
+    let mut repl: Vec<Option<usize>> = vec![None; n];
+
+    let mut rounds = 0usize;
+    loop {
+        let mut changed = false;
+        changed |= fold_and_simplify(&mut nodes, &mut parents, &mut repl);
+        changed |= cse(&nodes, &parents, &mut repl);
+        rounds += 1;
+        if !changed || rounds > n + 4 {
+            break;
+        }
+    }
+
+    compact(g, &nodes, &parents, &repl, lib)
+}
+
+fn resolve(repl: &[Option<usize>], mut u: usize) -> usize {
+    let mut hops = 0;
+    while let Some(v) = repl[u] {
+        u = v;
+        hops += 1;
+        debug_assert!(hops <= repl.len(), "replacement cycle (invalid input graph?)");
+        if hops > repl.len() {
+            break;
+        }
+    }
+    u
+}
+
+fn is_const(nodes: &[Node], u: usize) -> Option<u64> {
+    (nodes[u].ty() == NodeType::Const).then(|| nodes[u].aux())
+}
+
+fn fold_and_simplify(
+    nodes: &mut [Node],
+    parents: &mut [Vec<usize>],
+    repl: &mut Vec<Option<usize>>,
+) -> bool {
+    let n = nodes.len();
+    let mut changed = false;
+    for u in 0..n {
+        if repl[u].is_some() {
+            continue;
+        }
+        let ty = nodes[u].ty();
+        if matches!(ty, NodeType::Input | NodeType::Const | NodeType::Output) {
+            continue;
+        }
+        // Resolve parents through the replacement map.
+        let ps: Vec<usize> = parents[u].iter().map(|&p| resolve(repl, p)).collect();
+        parents[u] = ps.clone();
+        let w = nodes[u].width();
+        let same_width = |v: usize, nodes: &[Node]| nodes[v].width() == w;
+
+        // Registers: sequential constant propagation.
+        if ty == NodeType::Reg {
+            if let Some(v) = is_const(nodes, ps[0]) {
+                nodes[u] = Node::with_aux(NodeType::Const, w, v & mask(w));
+                parents[u].clear();
+                changed = true;
+            }
+            continue;
+        }
+
+        // Full constant folding.
+        let const_vals: Vec<Option<u64>> = ps.iter().map(|&p| is_const(nodes, p)).collect();
+        if !ps.is_empty() && const_vals.iter().all(Option::is_some) {
+            let aux = if ty == NodeType::Concat {
+                nodes[ps[1]].width() as u64
+            } else {
+                nodes[u].aux()
+            };
+            let v = eval_op(ty, aux, |k| const_vals[k].unwrap_or(0)) & mask(w);
+            nodes[u] = Node::with_aux(NodeType::Const, w, v);
+            parents[u].clear();
+            changed = true;
+            continue;
+        }
+
+        // Width-preserving algebraic identities.
+        let mut replace_with: Option<usize> = None;
+        let mut rewrite_const: Option<u64> = None;
+        match ty {
+            NodeType::And => {
+                if ps[0] == ps[1] && same_width(ps[0], nodes) {
+                    replace_with = Some(ps[0]);
+                } else if const_vals.iter().flatten().any(|&v| v & mask(w) == 0) {
+                    rewrite_const = Some(0);
+                } else if let Some(k) = all_ones_side(&const_vals, w) {
+                    let other = ps[1 - k];
+                    if same_width(other, nodes) {
+                        replace_with = Some(other);
+                    }
+                }
+            }
+            NodeType::Or => {
+                if ps[0] == ps[1] && same_width(ps[0], nodes) {
+                    replace_with = Some(ps[0]);
+                } else if let Some(k) = zero_side(&const_vals) {
+                    let other = ps[1 - k];
+                    if same_width(other, nodes) {
+                        replace_with = Some(other);
+                    }
+                } else if all_ones_side(&const_vals, w).is_some() {
+                    rewrite_const = Some(mask(w));
+                }
+            }
+            NodeType::Xor => {
+                if ps[0] == ps[1] {
+                    rewrite_const = Some(0);
+                } else if let Some(k) = zero_side(&const_vals) {
+                    let other = ps[1 - k];
+                    if same_width(other, nodes) {
+                        replace_with = Some(other);
+                    }
+                }
+            }
+            NodeType::Add => {
+                if let Some(k) = zero_side(&const_vals) {
+                    let other = ps[1 - k];
+                    if same_width(other, nodes) {
+                        replace_with = Some(other);
+                    }
+                }
+            }
+            NodeType::Sub => {
+                if ps[0] == ps[1] {
+                    rewrite_const = Some(0);
+                } else if const_vals[1] == Some(0) && same_width(ps[0], nodes) {
+                    replace_with = Some(ps[0]);
+                }
+            }
+            NodeType::Mul => {
+                if const_vals.iter().flatten().any(|&v| v == 0) {
+                    rewrite_const = Some(0);
+                } else if let Some(k) = const_vals
+                    .iter()
+                    .position(|&v| v == Some(1))
+                {
+                    let other = ps[1 - k];
+                    if same_width(other, nodes) {
+                        replace_with = Some(other);
+                    }
+                }
+            }
+            NodeType::Eq => {
+                if ps[0] == ps[1] {
+                    rewrite_const = Some(1);
+                }
+            }
+            NodeType::Lt => {
+                if ps[0] == ps[1] {
+                    rewrite_const = Some(0);
+                }
+            }
+            NodeType::Shl | NodeType::Shr => {
+                if const_vals[1] == Some(0) && same_width(ps[0], nodes) {
+                    replace_with = Some(ps[0]);
+                }
+            }
+            NodeType::Mux => {
+                if let Some(sel) = is_const(nodes, ps[0]) {
+                    let chosen = if sel != 0 { ps[1] } else { ps[2] };
+                    if same_width(chosen, nodes) {
+                        replace_with = Some(chosen);
+                    }
+                } else if ps[1] == ps[2] && same_width(ps[1], nodes) {
+                    replace_with = Some(ps[1]);
+                }
+            }
+            NodeType::Not => {
+                // ~~x → x (all widths equal)
+                let inner = ps[0];
+                if nodes[inner].ty() == NodeType::Not
+                    && repl[inner].is_none()
+                    && same_width(inner, nodes)
+                {
+                    let x = resolve(repl, parents[inner][0]);
+                    if same_width(x, nodes) && x != u {
+                        replace_with = Some(x);
+                    }
+                }
+            }
+            NodeType::BitSelect => {
+                if nodes[u].aux() == 0 && same_width(ps[0], nodes) {
+                    replace_with = Some(ps[0]);
+                }
+            }
+            _ => {}
+        }
+
+        if let Some(v) = rewrite_const {
+            nodes[u] = Node::with_aux(NodeType::Const, w, v & mask(w));
+            parents[u].clear();
+            changed = true;
+        } else if let Some(target) = replace_with {
+            if target != u {
+                repl[u] = Some(target);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn zero_side(const_vals: &[Option<u64>]) -> Option<usize> {
+    const_vals.iter().position(|&v| v == Some(0))
+}
+
+fn all_ones_side(const_vals: &[Option<u64>], w: u32) -> Option<usize> {
+    const_vals
+        .iter()
+        .position(|&v| v.is_some_and(|x| x & mask(w) == mask(w)))
+}
+
+/// Common-subexpression elimination. Inputs and outputs never merge;
+/// constants, combinational nodes and registers with identical
+/// (type, width, aux, parents) do. Commutative operators sort their
+/// parent pair before keying.
+fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut Vec<Option<usize>>) -> bool {
+    let mut seen: HashMap<(NodeType, u32, u64, Vec<usize>), usize> = HashMap::new();
+    let mut changed = false;
+    for u in 0..nodes.len() {
+        if repl[u].is_some() {
+            continue;
+        }
+        let ty = nodes[u].ty();
+        if matches!(ty, NodeType::Input | NodeType::Output) {
+            continue;
+        }
+        let mut ps: Vec<usize> = parents[u].iter().map(|&p| resolve(repl, p)).collect();
+        if matches!(
+            ty,
+            NodeType::And | NodeType::Or | NodeType::Xor | NodeType::Add | NodeType::Mul | NodeType::Eq
+        ) {
+            ps.sort_unstable();
+        }
+        let key = (ty, nodes[u].width(), nodes[u].aux(), ps);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let canon = *e.get();
+                if canon != u {
+                    repl[u] = Some(canon);
+                    changed = true;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(u);
+            }
+        }
+    }
+    changed
+}
+
+/// Dead-code elimination + compaction into a fresh graph.
+fn compact(
+    original: &CircuitGraph,
+    nodes: &[Node],
+    parents: &[Vec<usize>],
+    repl: &[Option<usize>],
+    lib: &CellLibrary,
+) -> SynthResult {
+    let n = nodes.len();
+    // Liveness: reverse reachability from outputs over resolved parents.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = (0..n)
+        .filter(|&u| repl[u].is_none() && nodes[u].ty() == NodeType::Output)
+        .collect();
+    for &s in &stack {
+        live[s] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &p in &parents[u] {
+            let p = resolve(repl, p);
+            if !live[p] {
+                live[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    let mut netlist = CircuitGraph::new(original.name());
+    let mut old_to_new: Vec<Option<NodeId>> = vec![None; n];
+    for u in 0..n {
+        if live[u] && repl[u].is_none() {
+            old_to_new[u] = Some(netlist.push_node(nodes[u]));
+        }
+    }
+    for u in 0..n {
+        let Some(new_id) = old_to_new[u] else { continue };
+        let new_parents: Vec<NodeId> = parents[u]
+            .iter()
+            .map(|&p| old_to_new[resolve(repl, p)].expect("live node's parent must be live"))
+            .collect();
+        netlist.set_parents_unchecked(new_id, &new_parents);
+    }
+
+    let mut reg_map = HashMap::new();
+    for (id, node) in original.iter() {
+        if node.ty().is_register() {
+            let r = resolve(repl, id.index());
+            if let Some(new_id) = old_to_new[r] {
+                if netlist.ty(new_id).is_register() {
+                    reg_map.insert(id, new_id);
+                }
+            }
+        }
+    }
+
+    let stats = SynthStats {
+        nodes_before: original.node_count(),
+        nodes_after: netlist.node_count(),
+        area_before: area_of_graph(original, lib),
+        area_after: area_of_graph(&netlist, lib),
+        seq_bits_before: original.register_bits(),
+        seq_bits_after: netlist.register_bits(),
+        gates_before: gate_count(original, lib),
+        gates_after: gate_count(&netlist, lib),
+    };
+    SynthResult {
+        netlist,
+        stats,
+        reg_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_register_swept() {
+        let mut g = CircuitGraph::new("dead");
+        let i = g.add_node(NodeType::Input, 8);
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(r, &[i]).unwrap();
+        g.set_parents(o, &[i]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.stats.seq_bits_after, 0);
+        assert!(!res.reg_map.contains_key(&r));
+        assert!(res.netlist.is_valid());
+    }
+
+    #[test]
+    fn live_register_survives_and_maps() {
+        let mut g = CircuitGraph::new("live");
+        let i = g.add_node(NodeType::Input, 8);
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(r, &[i]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.stats.seq_bits_after, 8);
+        let mapped = res.reg_map[&r];
+        assert!(res.netlist.ty(mapped).is_register());
+    }
+
+    #[test]
+    fn sequential_constant_folds() {
+        // reg fed by const, output = reg + input
+        let mut g = CircuitGraph::new("seqconst");
+        let c = g.add_const(8, 5);
+        let r = g.add_node(NodeType::Reg, 8);
+        let i = g.add_node(NodeType::Input, 8);
+        let s = g.add_node(NodeType::Add, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(r, &[c]).unwrap();
+        g.set_parents(s, &[r, i]).unwrap();
+        g.set_parents(o, &[s]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.stats.seq_bits_after, 0, "constant register swept");
+        assert!(!res.reg_map.contains_key(&r));
+    }
+
+    #[test]
+    fn full_constant_cone_folds_to_const() {
+        let mut g = CircuitGraph::new("fold");
+        let a = g.add_const(8, 3);
+        let b = g.add_const(8, 4);
+        let s = g.add_node(NodeType::Add, 8);
+        let m = g.add_node(NodeType::Mul, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s, &[a, b]).unwrap();
+        g.set_parents(m, &[s, s]).unwrap();
+        g.set_parents(o, &[m]).unwrap();
+        let res = optimize(&g);
+        // netlist: const 49 → output
+        assert_eq!(res.netlist.count_of_type(NodeType::Const), 1);
+        let c = res.netlist.nodes_of_type(NodeType::Const)[0];
+        assert_eq!(res.netlist.node(c).aux(), 49);
+        assert_eq!(res.netlist.node_count(), 2);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_logic() {
+        let mut g = CircuitGraph::new("cse");
+        let a = g.add_node(NodeType::Input, 8);
+        let b = g.add_node(NodeType::Input, 8);
+        let s1 = g.add_node(NodeType::Add, 8);
+        let s2 = g.add_node(NodeType::Add, 8); // same as s1 (commuted)
+        let x = g.add_node(NodeType::Xor, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s1, &[a, b]).unwrap();
+        g.set_parents(s2, &[b, a]).unwrap();
+        g.set_parents(x, &[s1, s2]).unwrap();
+        g.set_parents(o, &[x]).unwrap();
+        let res = optimize(&g);
+        // xor(s,s) → 0, so everything folds to a constant output
+        let consts = res.netlist.nodes_of_type(NodeType::Const);
+        assert_eq!(consts.len(), 1);
+        assert_eq!(res.netlist.node(consts[0]).aux(), 0);
+    }
+
+    #[test]
+    fn register_merging() {
+        let mut g = CircuitGraph::new("regmerge");
+        let i = g.add_node(NodeType::Input, 4);
+        let r1 = g.add_node(NodeType::Reg, 4);
+        let r2 = g.add_node(NodeType::Reg, 4);
+        let s = g.add_node(NodeType::Add, 4);
+        let o = g.add_node(NodeType::Output, 4);
+        g.set_parents(r1, &[i]).unwrap();
+        g.set_parents(r2, &[i]).unwrap();
+        g.set_parents(s, &[r1, r2]).unwrap();
+        g.set_parents(o, &[s]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.stats.seq_bits_after, 4, "duplicate registers merged");
+        assert_eq!(res.reg_map[&r1], res.reg_map[&r2]);
+    }
+
+    #[test]
+    fn mux_same_branches_simplifies() {
+        let mut g = CircuitGraph::new("mux");
+        let s = g.add_node(NodeType::Input, 1);
+        let a = g.add_node(NodeType::Input, 8);
+        let m = g.add_node(NodeType::Mux, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(m, &[s, a, a]).unwrap();
+        g.set_parents(o, &[m]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.netlist.count_of_type(NodeType::Mux), 0);
+    }
+
+    #[test]
+    fn and_with_zero_folds() {
+        let mut g = CircuitGraph::new("and0");
+        let a = g.add_node(NodeType::Input, 8);
+        let z = g.add_const(8, 0);
+        let and = g.add_node(NodeType::And, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(and, &[a, z]).unwrap();
+        g.set_parents(o, &[and]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.netlist.count_of_type(NodeType::And), 0);
+    }
+
+    #[test]
+    fn width_mismatched_identity_not_applied() {
+        // add(16-bit x, 0) where the add is 8-bit: replacing by x would
+        // expose x's high bits; the pass must keep the add or mask
+        // correctly. We verify semantics rather than structure.
+        let mut g = CircuitGraph::new("wm");
+        let x = g.add_node(NodeType::Input, 16);
+        let z = g.add_const(8, 0);
+        let add = g.add_node(NodeType::Add, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(add, &[x, z]).unwrap();
+        g.set_parents(o, &[add]).unwrap();
+        let res = optimize(&g);
+        // The add must survive (width barrier).
+        assert_eq!(res.netlist.count_of_type(NodeType::Add), 1);
+    }
+
+    #[test]
+    fn feedback_counter_fully_survives() {
+        let mut g = CircuitGraph::new("ctr");
+        let one = g.add_const(8, 1);
+        let r = g.add_node(NodeType::Reg, 8);
+        let s = g.add_node(NodeType::Add, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(s, &[r, one]).unwrap();
+        g.set_parents(r, &[s]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        let res = optimize(&g);
+        assert_eq!(res.stats.seq_bits_after, 8);
+        assert_eq!(res.stats.nodes_after, 4);
+        assert!((crate::scpr(&res) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_monotonicity() {
+        let mut g = CircuitGraph::new("mono");
+        let i = g.add_node(NodeType::Input, 8);
+        let n1 = g.add_node(NodeType::Not, 8);
+        let n2 = g.add_node(NodeType::Not, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(n1, &[i]).unwrap();
+        g.set_parents(n2, &[n1]).unwrap();
+        g.set_parents(o, &[n2]).unwrap();
+        let res = optimize(&g);
+        assert!(res.stats.nodes_after <= res.stats.nodes_before);
+        assert!(res.stats.area_after <= res.stats.area_before);
+        // ~~x → x: both NOTs vanish
+        assert_eq!(res.netlist.count_of_type(NodeType::Not), 0);
+    }
+}

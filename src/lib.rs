@@ -1,0 +1,48 @@
+//! # SynCircuit
+//!
+//! Facade crate for the SynCircuit reproduction (DAC 2025): automated
+//! generation of new synthetic RTL circuits with valid functionality.
+//!
+//! Each subsystem lives in its own crate; this facade re-exports them
+//! under stable module names so applications can depend on a single crate:
+//!
+//! - [`graph`] — directed cyclic circuit-graph IR, constraints, statistics
+//! - [`hdl`] — Verilog subset emitter/parser (the bijection `f : D ↔ G`)
+//! - [`synth`] — logic-synthesis simulator and static timing analysis
+//! - [`nn`] — minimal tape-autograd neural-network substrate
+//! - [`core`] — the three-phase SynCircuit pipeline (diffusion → validity
+//!   refinement → MCTS redundancy optimization)
+//! - [`baselines`] — GraphRNN / D-VAE / GraphMaker-v / SparseDigress-v
+//! - [`datasets`] — the 22-design "real" RTL corpus
+//! - [`metrics`] — Table II structural-similarity metrics
+//! - [`ppa`] — downstream RTL-stage PPA prediction (MasterRTL/RTL-Timer
+//!   style)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use syncircuit::core::{PipelineConfig, SynCircuit};
+//! use syncircuit::datasets;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train on a small slice of the corpus, then generate one circuit.
+//! let corpus: Vec<_> = datasets::corpus().into_iter().take(3)
+//!     .map(|d| d.graph).collect();
+//! let mut cfg = PipelineConfig::tiny();
+//! cfg.seed = 7;
+//! let model = SynCircuit::fit(&corpus, cfg)?;
+//! let circuit = model.generate(60)?;
+//! assert!(circuit.graph.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use syncircuit_baselines as baselines;
+pub use syncircuit_core as core;
+pub use syncircuit_datasets as datasets;
+pub use syncircuit_graph as graph;
+pub use syncircuit_hdl as hdl;
+pub use syncircuit_metrics as metrics;
+pub use syncircuit_nn as nn;
+pub use syncircuit_ppa as ppa;
+pub use syncircuit_synth as synth;
