@@ -1,0 +1,29 @@
+# Mirror of the justfile for environments without `just`.
+
+.PHONY: build test lint fmt-check bench-smoke bench-all determinism ci
+
+build:
+	cargo build --release
+
+test: build
+	cargo test -q
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt-check:
+	cargo fmt --all -- --check
+
+bench-smoke:
+	cargo bench -p syncircuit-bench --bench micro
+
+bench-all:
+	cargo bench -p syncircuit-bench
+
+determinism:
+	cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run1.txt
+	cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run2.txt
+	diff /tmp/syncircuit-run1.txt /tmp/syncircuit-run2.txt
+	@echo "deterministic: two runs identical"
+
+ci: build test lint

@@ -1,8 +1,8 @@
 //! Table II — structural-property similarity with the real evaluation
 //! designs (`tinyrocket` and `core`).
 //!
-//! Six generators (four baselines + the SynCircuit w/o-diffusion ablation
-//! + full SynCircuit) each produce a set of graphs conditioned on the
+//! Six generators (four baselines plus the SynCircuit w/o-diffusion
+//! ablation and full SynCircuit) each produce a set of graphs conditioned on the
 //! evaluation design's node count; the table reports 1-Wasserstein
 //! distances for out-degree / clustering / orbit distributions and
 //! |E[M(Ĝ)/M(G)] − 1| for triangles, ĥ(A,Y) and ĥ(A²,Y). Expected shape
@@ -36,8 +36,9 @@ fn main() {
         EXPERIMENT_SEED,
     );
 
+    type Generator<'a> = Box<dyn Fn(usize, u64) -> Option<CircuitGraph> + 'a>;
     let mut rows: Vec<(&str, Vec<StructuralComparison>)> = Vec::new();
-    let models: Vec<(&str, Box<dyn Fn(usize, u64) -> Option<CircuitGraph>>)> = vec![
+    let models: Vec<(&str, Generator)> = vec![
         (
             "GraphRNN",
             Box::new(|n, s| graphrnn.generate(n, s).ok()),

@@ -370,9 +370,9 @@ impl DiffusionModel {
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         match self.config.decode {
             DecodeMode::Dense => {
-                for j in 0..n {
+                for (j, &j_is_reg) in reg_mask.iter().enumerate() {
                     for i in 0..n {
-                        if i == j && !reg_mask[j] {
+                        if i == j && !j_is_reg {
                             continue;
                         }
                         pairs.push((i as u32, j as u32));

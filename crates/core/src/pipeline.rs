@@ -187,7 +187,7 @@ impl SynCircuit {
                 let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD15C);
                 use rand::Rng;
                 for k in 0..4 {
-                    let n = 20 + rng.gen_range(0..40);
+                    let n = 20 + rng.gen_range(0..40usize);
                     let sampled_attrs = attrs.sample_attrs(n, &mut rng);
                     if let Ok(g) = refine_without_diffusion(
                         &sampled_attrs,

@@ -79,8 +79,8 @@ pub fn crc_like(name: &str, seed: u64, width: u32, num_taps: usize) -> CircuitGr
     let widened = {
         // place tapword at bit positions via shift by constant
         let sh = b.constant(width, rng.gen_range(1..width.max(2)) as u64);
-        let w = b.op2(NodeType::Shl, width, tapword, sh);
-        w
+
+        b.op2(NodeType::Shl, width, tapword, sh)
     };
     let mixed = b.op2(NodeType::Xor, width, shifted, widened);
     let next = b.mux(enable, mixed, state);

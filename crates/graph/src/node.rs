@@ -229,7 +229,7 @@ impl Node {
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn with_aux(ty: NodeType, width: u32, aux: u64) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "node width {width} out of range 1..={MAX_WIDTH}"
         );
         Node { ty, width, aux }

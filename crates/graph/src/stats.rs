@@ -79,7 +79,7 @@ impl Skeleton {
 pub fn clustering_coefficients(skel: &Skeleton) -> Vec<f64> {
     let n = skel.len();
     let mut out = vec![0.0; n];
-    for u in 0..n {
+    for (u, coeff) in out.iter_mut().enumerate() {
         let neigh = skel.neighbors(u);
         let k = neigh.len();
         if k < 2 {
@@ -93,7 +93,7 @@ pub fn clustering_coefficients(skel: &Skeleton) -> Vec<f64> {
                 }
             }
         }
-        out[u] = 2.0 * links as f64 / (k * (k - 1)) as f64;
+        *coeff = 2.0 * links as f64 / (k * (k - 1)) as f64;
     }
     out
 }
@@ -147,8 +147,8 @@ pub fn orbit_counts(skel: &Skeleton) -> Vec<[u64; NUM_ORBITS]> {
     let mut counts = vec![[0u64; NUM_ORBITS]; n];
 
     // Orbit 0: degree.
-    for u in 0..n {
-        counts[u][0] = skel.degree(u) as u64;
+    for (u, orbits) in counts.iter_mut().enumerate() {
+        orbits[0] = skel.degree(u) as u64;
     }
 
     // Size-3 graphlets by wedge enumeration.
@@ -424,9 +424,9 @@ mod tests {
         let cc = clustering_coefficients(&s);
         assert_eq!(cc, vec![1.0, 1.0, 1.0]);
         let orb = orbit_counts(&s);
-        for u in 0..3 {
-            assert_eq!(orb[u][3], 1, "each corner in one triangle");
-            assert_eq!(orb[u][0], 2);
+        for corner in &orb[..3] {
+            assert_eq!(corner[3], 1, "each corner in one triangle");
+            assert_eq!(corner[0], 2);
         }
     }
 
@@ -450,8 +450,8 @@ mod tests {
         let s = Skeleton::new(&g);
         let orb = orbit_counts(&s);
         assert_eq!(orb[0][7], 1); // center of 3-star
-        for u in 1..4 {
-            assert_eq!(orb[u][6], 1);
+        for leaf in &orb[1..4] {
+            assert_eq!(leaf[6], 1);
         }
     }
 
@@ -460,8 +460,8 @@ mod tests {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let s = Skeleton::new(&g);
         let orb = orbit_counts(&s);
-        for u in 0..4 {
-            assert_eq!(orb[u][8], 1);
+        for node in &orb[..4] {
+            assert_eq!(node[8], 1);
         }
     }
 
@@ -473,8 +473,8 @@ mod tests {
         );
         let s = Skeleton::new(&g);
         let orb = orbit_counts(&s);
-        for u in 0..4 {
-            assert_eq!(orb[u][14], 1);
+        for node in &orb[..4] {
+            assert_eq!(node[14], 1);
         }
         assert_eq!(triangle_count(&s), 4);
     }

@@ -242,7 +242,7 @@ mod tests {
             let leaf = star.add_node(NodeType::Reg, 4);
             star.add_edge(hub, leaf).unwrap();
         }
-        let good = compare_against_real(&real, &[real.clone()]);
+        let good = compare_against_real(&real, std::slice::from_ref(&real));
         let bad = compare_against_real(&real, &[star]);
         assert!(bad.aggregate() > good.aggregate());
         assert!(bad.w1_out_degree > 0.5);

@@ -21,7 +21,7 @@
 //! use syncircuit_nn::{layers::Mlp, Adam, Matrix, ParamStore, Tape};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut rng = StdRng::seed_from_u64(3);
 //! let mut store = ParamStore::new();
 //! let mlp = Mlp::new(&mut store, &[2, 8, 1], &mut rng);
 //! let mut adam = Adam::with_lr(0.05);

@@ -17,6 +17,7 @@ impl Ridge {
     /// # Panics
     ///
     /// Panics if `x` is empty or rows have inconsistent lengths.
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix index loops
     pub fn fit(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Self {
         assert!(!x.is_empty(), "ridge needs at least one sample");
         assert_eq!(x.len(), y.len(), "sample/label count mismatch");
@@ -96,6 +97,7 @@ impl Ridge {
 
 /// Gaussian elimination with partial pivoting; singular systems fall back
 /// to the least-norm-ish solution by zeroing dead pivots.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearest with indices
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {

@@ -114,7 +114,7 @@ fn is_const(nodes: &[Node], u: usize) -> Option<u64> {
 fn fold_and_simplify(
     nodes: &mut [Node],
     parents: &mut [Vec<usize>],
-    repl: &mut Vec<Option<usize>>,
+    repl: &mut [Option<usize>],
 ) -> bool {
     let n = nodes.len();
     let mut changed = false;
@@ -223,21 +223,18 @@ fn fold_and_simplify(
                     }
                 }
             }
-            NodeType::Eq => {
-                if ps[0] == ps[1] {
+            NodeType::Eq
+                if ps[0] == ps[1] => {
                     rewrite_const = Some(1);
                 }
-            }
-            NodeType::Lt => {
-                if ps[0] == ps[1] {
+            NodeType::Lt
+                if ps[0] == ps[1] => {
                     rewrite_const = Some(0);
                 }
-            }
-            NodeType::Shl | NodeType::Shr => {
-                if const_vals[1] == Some(0) && same_width(ps[0], nodes) {
+            NodeType::Shl | NodeType::Shr
+                if const_vals[1] == Some(0) && same_width(ps[0], nodes) => {
                     replace_with = Some(ps[0]);
                 }
-            }
             NodeType::Mux => {
                 if let Some(sel) = is_const(nodes, ps[0]) {
                     let chosen = if sel != 0 { ps[1] } else { ps[2] };
@@ -261,11 +258,10 @@ fn fold_and_simplify(
                     }
                 }
             }
-            NodeType::BitSelect => {
-                if nodes[u].aux() == 0 && same_width(ps[0], nodes) {
+            NodeType::BitSelect
+                if nodes[u].aux() == 0 && same_width(ps[0], nodes) => {
                     replace_with = Some(ps[0]);
                 }
-            }
             _ => {}
         }
 
@@ -297,7 +293,7 @@ fn all_ones_side(const_vals: &[Option<u64>], w: u32) -> Option<usize> {
 /// constants, combinational nodes and registers with identical
 /// (type, width, aux, parents) do. Commutative operators sort their
 /// parent pair before keying.
-fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut Vec<Option<usize>>) -> bool {
+fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut [Option<usize>]) -> bool {
     let mut seen: HashMap<(NodeType, u32, u64, Vec<usize>), usize> = HashMap::new();
     let mut changed = false;
     for u in 0..nodes.len() {

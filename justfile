@@ -1,0 +1,38 @@
+# SynCircuit task runner — `just <target>` (or use the mirror Makefile)
+
+# full optimized build of every workspace member
+build:
+    cargo build --release
+
+# the tier-1 gate: full workspace test suite (unit, property,
+# integration, doc-tests) — must stay green and deterministic
+test:
+    cargo build --release
+    cargo test -q
+
+# lint wall: no clippy warnings allowed anywhere in the workspace
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# formatting check (does not rewrite)
+fmt-check:
+    cargo fmt --all -- --check
+
+# compile + run the 7 experiment harnesses briefly; the micro bench
+# runs the shimmed Criterion loop, the table/figure benches print rows
+bench-smoke:
+    cargo bench -p syncircuit-bench --bench micro
+
+# run every table/figure harness (slow; regenerates the paper numbers)
+bench-all:
+    cargo bench -p syncircuit-bench
+
+# two consecutive runs must produce identical output under fixed seeds
+determinism:
+    cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run1.txt
+    cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run2.txt
+    diff /tmp/syncircuit-run1.txt /tmp/syncircuit-run2.txt
+    @echo "deterministic: two runs identical"
+
+# everything CI checks, in CI order
+ci: build test lint

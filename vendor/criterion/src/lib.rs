@@ -1,0 +1,122 @@
+//! Offline drop-in shim for the subset of the Criterion API this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`, and `black_box`.
+//!
+//! There is no statistical machinery: each benchmark runs one warm-up
+//! iteration plus `sample_size` timed iterations and prints the mean
+//! wall-clock time per iteration. That is enough for the repo's
+//! `bench-smoke` target (compile + run + sanity numbers); rigorous
+//! measurement belongs to real Criterion once the build environment has
+//! registry access.
+
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.timed_iters > 0 {
+            let per_iter = bencher.elapsed_ns / bencher.timed_iters as u128;
+            println!("bench: {name:<40} {:>12} ns/iter ({} iters)", per_iter, bencher.timed_iters);
+        } else {
+            println!("bench: {name:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, excluded from timing
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.timed_iters += self.iterations;
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut counter = 0u64;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("counting", |b| b.iter(|| counter += 1));
+        // 1 warm-up + 5 timed
+        assert_eq!(counter, 6);
+    }
+}

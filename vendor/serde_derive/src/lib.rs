@@ -1,0 +1,412 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim for the vendored
+//! `serde` crate. Implemented with hand-rolled token parsing (no `syn`
+//! or `quote` — the build container has no crates.io access).
+//!
+//! Supported shapes, which cover every derive in this workspace:
+//! - structs with named fields (incl. `#[serde(skip)]` fields, which are
+//!   omitted on write and `Default`-filled on read)
+//! - tuple structs (1-field newtypes serialize transparently, larger
+//!   tuples as arrays)
+//! - unit structs
+//! - enums whose variants are all unit variants (serialized as strings)
+//!
+//! Anything else (generics, data-carrying enum variants, unions) panics
+//! with a clear compile-time message so the gap is obvious.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, types: Vec<String> },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl must parse")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute or doc comment: consume the bracket group
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_restriction(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "union" => {
+                panic!("serde shim derive: unions are not supported");
+            }
+            Some(other) => panic!("serde shim derive: unexpected token `{other}`"),
+            None => panic!("serde shim derive: ran out of tokens before `struct`/`enum`"),
+        }
+    }
+}
+
+fn skip_vis_restriction(iter: &mut Tokens) {
+    // `pub(crate)` / `pub(super)` / `pub(in path)` carry a paren group
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            let _ = iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_struct(iter: &mut Tokens) -> Shape {
+    let name = expect_ident(iter, "struct name");
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                types: parse_tuple_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_enum(iter: &mut Tokens) -> Shape {
+    let name = expect_ident(iter, "enum name");
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic enum `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: unexpected enum body {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        let Some(tt) = it.next() else { break };
+        let variant = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got `{other}`"),
+        };
+        match it.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde shim derive: enum `{name}` variant `{variant}` carries data; only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde shim derive: enum `{name}` has explicit discriminants; not supported"
+            ),
+            other => panic!("serde shim derive: unexpected token after variant `{variant}`: {other:?}"),
+        }
+    }
+    Shape::UnitEnum { name, variants }
+}
+
+/// Consumes leading `#[...]` attributes; returns true if any was
+/// `#[serde(skip)]`.
+fn skip_attrs(iter: &mut Tokens) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        let _ = iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if attr_is_serde_skip(&g.stream()) {
+                    skip = true;
+                }
+            }
+            other => panic!("serde shim derive: malformed attribute: {other:?}"),
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let mut it = attr.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut it);
+        let Some(tt) = it.next() else { break };
+        let name = match tt {
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                skip_vis_restriction(&mut it);
+                expect_ident(&mut it, "field name")
+            }
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got `{other}`"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = read_type_until_comma(&mut it);
+        fields.push(Field { name, ty, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<String> {
+    let mut types = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let _ = skip_attrs(&mut it);
+        match it.peek() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                let _ = it.next();
+                skip_vis_restriction(&mut it);
+            }
+            _ => {}
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        let ty = read_type_until_comma(&mut it);
+        if ty.is_empty() {
+            break;
+        }
+        types.push(ty);
+    }
+    types
+}
+
+/// Reads type tokens until a comma at angle-bracket depth zero.
+fn read_type_until_comma(iter: &mut Tokens) -> String {
+    let mut ty = String::new();
+    let mut angle_depth = 0usize;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    let _ = iter.next();
+                    break;
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        ty.push_str(&iter.next().unwrap().to_string());
+        ty.push(' ');
+    }
+    ty.trim().to_string()
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, types } if types.len() == 1 => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, types } => {
+            let entries: String = (0..types.len())
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let header = |name: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n"
+        )
+    };
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{fname}: match value.get(\"{fname}\") {{\n\
+                                 ::core::option::Option::Some(v) => \
+                                     <{fty} as ::serde::Deserialize>::deserialize(v)?,\n\
+                                 ::core::option::Option::None => return \
+                                     ::core::result::Result::Err(::serde::DeError::msg(\
+                                     \"missing field `{fname}` in {name}\")),\n\
+                             }},",
+                            fname = f.name,
+                            fty = f.ty,
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{header}\
+                     if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::msg(\
+                             \"expected object for {name}\"));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                 }}\n}}",
+                header = header(name),
+            )
+        }
+        Shape::TupleStruct { name, types } if types.len() == 1 => format!(
+            "{header}\
+                 ::core::result::Result::Ok({name}(<{ty} as ::serde::Deserialize>::deserialize(value)?))\n\
+             }}\n}}",
+            header = header(name),
+            ty = types[0],
+        ),
+        Shape::TupleStruct { name, types } => {
+            let inits: String = types
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| format!("<{ty} as ::serde::Deserialize>::deserialize(&items[{i}])?,"))
+                .collect();
+            let n = types.len();
+            format!(
+                "{header}\
+                     match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                             ::core::result::Result::Ok({name}({inits})),\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                             \"expected {n}-element array for {name}\")),\n\
+                     }}\n\
+                 }}\n}}",
+                header = header(name),
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "{header}\
+                 match value {{\n\
+                     ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                     _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                         \"expected null for {name}\")),\n\
+                 }}\n\
+             }}\n}}",
+            header = header(name),
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "{header}\
+                     match value {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                                 \"unknown variant for {name}\")),\n\
+                         }},\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                             \"expected string for enum {name}\")),\n\
+                     }}\n\
+                 }}\n}}",
+                header = header(name),
+            )
+        }
+    }
+}
