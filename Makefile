@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check bench-smoke bench-all determinism ci
+.PHONY: build test lint fmt-check bench-smoke bench-json bench-all determinism ci
 
 build:
 	cargo build --release
@@ -16,6 +16,10 @@ fmt-check:
 
 bench-smoke:
 	cargo bench -p syncircuit-bench --bench micro
+
+bench-json:
+	BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
+	cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json BENCH_phase3.json
 
 bench-all:
 	cargo bench -p syncircuit-bench

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use syncircuit_core::{
-    optimize_cone_mcts, DiffusionConfig, DiffusionModel, ExactSynthReward, MctsConfig,
-    RefineConfig,
+    optimize_cone_mcts, optimize_registers, ConeSelection, DiffusionConfig, DiffusionModel,
+    ExactSynthReward, IncrementalConeReward, MctsConfig, RefineConfig,
 };
 use syncircuit_datasets::design;
 use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
@@ -95,9 +95,33 @@ fn bench_mcts_cone(c: &mut Criterion) {
     });
 }
 
+/// Full Phase-3 register optimization on a whole corpus design, with
+/// the exact whole-design reward and the dirty-cone incremental reward
+/// side by side (the incremental evaluator is rebuilt per iteration so
+/// the measurement includes its warm-up misses).
+fn bench_optimize_registers(c: &mut Criterion) {
+    let g = design("oc_fifo").expect("corpus design").graph;
+    let cfg = MctsConfig {
+        simulations: 10,
+        max_depth: 4,
+        actions_per_expansion: 6,
+        ..MctsConfig::default()
+    };
+    let exact = ExactSynthReward::new();
+    c.bench_function("optimize_registers_oc_fifo_exact", |b| {
+        b.iter(|| optimize_registers(black_box(&g), &exact, &cfg, ConeSelection::WorstK(2)))
+    });
+    c.bench_function("optimize_registers_oc_fifo_incremental", |b| {
+        b.iter(|| {
+            let reward = IncrementalConeReward::new();
+            optimize_registers(black_box(&g), &reward, &cfg, ConeSelection::WorstK(2))
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_sta, bench_stats, bench_diffusion_sample, bench_refine, bench_mcts_cone
+    targets = bench_synthesis, bench_sta, bench_stats, bench_diffusion_sample, bench_refine, bench_mcts_cone, bench_optimize_registers
 }
 criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Merges one micro-bench run into the repo's machine-readable perf
+//! trajectory file (`BENCH_phase3.json`).
+//!
+//! Usage: `bench-json <current-run.json> <trajectory.json>`
+//!
+//! `<current-run.json>` is the flat `{"bench": mean_ns}` object the
+//! vendored criterion shim writes when `BENCH_JSON` is set. The
+//! trajectory file keeps a `baseline` section (seeded from the first
+//! recorded run and preserved afterwards — new benches are added to it
+//! on first sight), the freshest `current` section, and the derived
+//! `speedup` (baseline / current) per bench. `just bench-json` wires
+//! the two steps together.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn read_object(path: &str) -> Option<Vec<(String, Value)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::from_str::<Value>(&text) {
+        Ok(Value::Object(fields)) => Some(fields),
+        _ => None,
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_ns(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench-json <current-run.json> <trajectory.json>");
+        return ExitCode::FAILURE;
+    }
+    let Some(current) = read_object(&args[1]) else {
+        eprintln!("error: {} is not a JSON object of bench results", args[1]);
+        return ExitCode::FAILURE;
+    };
+
+    // Preserve the recorded baseline; seed missing entries from the
+    // current run so every bench always has a reference point.
+    let mut baseline: Vec<(String, Value)> = read_object(&args[2])
+        .and_then(|fields| match get(&fields, "baseline") {
+            Some(Value::Object(b)) => Some(b.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for (name, ns) in &current {
+        if get(&baseline, name).is_none() {
+            baseline.push((name.clone(), ns.clone()));
+        }
+    }
+
+    let mut speedup: Vec<(String, Value)> = Vec::new();
+    for (name, ns) in &current {
+        if let (Some(base), Some(cur)) = (get(&baseline, name).and_then(as_ns), as_ns(ns)) {
+            if cur > 0.0 {
+                let ratio = (base / cur * 100.0).round() / 100.0;
+                speedup.push((name.clone(), Value::Float(ratio)));
+            }
+        }
+    }
+
+    let doc = Value::Object(vec![
+        (
+            "unit".to_string(),
+            Value::Str("mean ns/iter (criterion shim, sample_size 10)".to_string()),
+        ),
+        ("baseline".to_string(), Value::Object(baseline)),
+        ("current".to_string(), Value::Object(current)),
+        ("speedup".to_string(), Value::Object(speedup)),
+    ]);
+    let text = match serde_json::to_string_pretty(&doc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args[2], text + "\n") {
+        eprintln!("error: cannot write {}: {e}", args[2]);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args[2]);
+    ExitCode::SUCCESS
+}

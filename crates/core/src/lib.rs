@@ -53,8 +53,8 @@ pub use diffusion::{DecodeMode, DiffusionConfig, DiffusionModel, EdgeProbs, Samp
 pub use discriminator::PcsDiscriminator;
 pub use mcts::{
     optimize_cone_mcts, optimize_cone_random, optimize_random_walk, optimize_registers,
-    optimize_registers_random, ConeSelection, ExactSynthReward, MctsConfig, MctsOutcome,
-    RewardModel,
+    optimize_registers_random, ConeSelection, ExactSynthReward, IncrementalConeReward, MctsConfig,
+    MctsOutcome, RewardModel,
 };
 pub use pipeline::{Generated, PipelineConfig, PipelineError, RewardKind, SynCircuit};
 pub use refine::{refine, refine_without_diffusion, RefineConfig, RefineError};

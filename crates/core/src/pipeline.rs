@@ -28,6 +28,10 @@ use syncircuit_graph::{CircuitGraph, Node};
 pub enum RewardKind {
     /// Synthesize every candidate exactly (slow, reference).
     Exact,
+    /// Dirty-cone incremental synthesis: design PCS decomposed into
+    /// memoized per-cone results, so each swap only re-synthesizes the
+    /// cones it touched (see [`IncrementalConeReward`]).
+    IncrementalCone,
     /// Train a PCS discriminator on corpus cones and use it as the
     /// reward (the paper's accelerated setting).
     Discriminator {
@@ -171,7 +175,7 @@ impl SynCircuit {
         let diffusion = DiffusionModel::train(graphs, config.diffusion.clone(), config.seed);
 
         let discriminator = match config.reward {
-            RewardKind::Exact => None,
+            RewardKind::Exact | RewardKind::IncrementalCone => None,
             RewardKind::Discriminator { epochs } => {
                 // Label full designs *and* cones, from the real corpus
                 // and from redundant synthetic circuits, so the regressor
@@ -274,9 +278,14 @@ impl SynCircuit {
         let mut mcts_cfg = self.config.mcts.clone();
         mcts_cfg.seed = seed.wrapping_add(3);
         let exact = ExactSynthReward::new();
-        let reward: &dyn RewardModel = match &self.discriminator {
-            Some(d) => d,
-            None => &exact,
+        let incremental;
+        let reward: &dyn RewardModel = match (&self.discriminator, self.config.reward) {
+            (Some(d), _) => d,
+            (None, RewardKind::IncrementalCone) => {
+                incremental = crate::mcts::IncrementalConeReward::new();
+                &incremental
+            }
+            (None, _) => &exact,
         };
         let (graph, outcomes) =
             optimize_registers(&gval, reward, &mcts_cfg, self.config.cone_selection);

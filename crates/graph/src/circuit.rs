@@ -34,10 +34,25 @@ pub struct CircuitGraph {
 }
 
 /// Lazily rebuilt children adjacency (not serialized).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 struct ChildIndex {
     lists: Vec<Vec<NodeId>>,
     valid: bool,
+}
+
+impl Clone for ChildIndex {
+    fn clone(&self) -> Self {
+        // A stale cache would be rebuilt before use anyway — don't pay
+        // for deep-copying it (graph clones are a Phase-3 hot path).
+        if self.valid {
+            ChildIndex {
+                lists: self.lists.clone(),
+                valid: true,
+            }
+        } else {
+            ChildIndex::default()
+        }
+    }
 }
 
 impl CircuitGraph {
@@ -259,6 +274,16 @@ impl CircuitGraph {
         assert!(new_parent.index() < self.nodes.len());
         self.parents[node.index()][slot] = new_parent;
         self.children.valid = false;
+    }
+
+    /// Crate-internal direct access to one node's parent slot list.
+    ///
+    /// Invalidates the lazily rebuilt children cache; the in-place swap
+    /// engine ([`crate::swap::SwapGraph`]) uses this for O(arity) slot
+    /// surgery while maintaining its own children index.
+    pub(crate) fn parents_vec_mut(&mut self, id: NodeId) -> &mut Vec<NodeId> {
+        self.children.valid = false;
+        &mut self.parents[id.index()]
     }
 
     /// Iterates over all edges `(from, to)` with multiplicity.

@@ -42,9 +42,11 @@ pub mod algo;
 pub mod comb;
 pub mod cone;
 pub mod error;
+pub mod fingerprint;
 pub mod interp;
 pub mod node;
 pub mod stats;
+pub mod swap;
 pub mod testing;
 pub mod validate;
 
@@ -52,4 +54,6 @@ mod circuit;
 
 pub use circuit::{CircuitGraph, Edge};
 pub use error::{GraphError, ValidateError};
+pub use fingerprint::zobrist_fingerprint;
 pub use node::{mask, Node, NodeId, NodeType, ALL_NODE_TYPES, MAX_WIDTH};
+pub use swap::{SwapDelta, SwapGraph};

@@ -9,7 +9,6 @@
 
 use crate::circuit::CircuitGraph;
 use crate::node::ALL_NODE_TYPES;
-use std::collections::HashSet;
 
 /// Undirected skeleton as sorted adjacency lists without duplicates or
 /// self-loops.
@@ -20,25 +19,25 @@ pub struct Skeleton {
 
 impl Skeleton {
     /// Builds the undirected skeleton of a circuit graph.
+    ///
+    /// Accumulates flat neighbor `Vec`s and sort+dedups each once —
+    /// no per-node hash sets, which dominated this constructor on
+    /// dense designs.
     pub fn new(g: &CircuitGraph) -> Self {
         let n = g.node_count();
-        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for e in g.edges() {
             let (a, b) = (e.from.index() as u32, e.to.index() as u32);
             if a == b {
                 continue;
             }
-            sets[a as usize].insert(b);
-            sets[b as usize].insert(a);
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
         }
-        let adj = sets
-            .into_iter()
-            .map(|s| {
-                let mut v: Vec<u32> = s.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
-            .collect();
+        for v in &mut adj {
+            v.sort_unstable();
+            v.dedup();
+        }
         Skeleton { adj }
     }
 
@@ -99,21 +98,34 @@ pub fn clustering_coefficients(skel: &Skeleton) -> Vec<f64> {
 }
 
 /// Total triangle count on the undirected skeleton.
+///
+/// For every edge `u < v`, counts common neighbors `w > v` by a linear
+/// merge of the two sorted neighbor lists (each triangle is counted at
+/// its smallest vertex), replacing the former O(d²·log d) per-edge
+/// binary-search probe.
 pub fn triangle_count(skel: &Skeleton) -> u64 {
     let n = skel.len();
     let mut count = 0u64;
     for u in 0..n {
-        for &v in skel.neighbors(u) {
-            let v = v as usize;
-            if v <= u {
+        let nu = skel.neighbors(u);
+        for &v in nu {
+            let vu = v as usize;
+            if vu <= u {
                 continue;
             }
-            // intersect neighbor lists, counting w > v to count each
-            // triangle once
-            for &w in skel.neighbors(u) {
-                let w = w as usize;
-                if w > v && skel.adjacent(v, w) {
-                    count += 1;
+            let nv = skel.neighbors(vu);
+            // two-pointer intersection of nu and nv, restricted to w > v
+            let mut a = nu.partition_point(|&w| w <= v);
+            let mut b = nv.partition_point(|&w| w <= v);
+            while a < nu.len() && b < nv.len() {
+                match nu[a].cmp(&nv[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        a += 1;
+                        b += 1;
+                    }
                 }
             }
         }

@@ -1,0 +1,110 @@
+//! Property tests of the reversible in-place swap engine: `undo` must
+//! restore the graph, the children index, and the adjacency fingerprint
+//! *exactly*, and the maintained index/fingerprint must match a
+//! from-scratch rebuild after every accepted swap.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use syncircuit_graph::swap::SwapGraph;
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_graph::zobrist_fingerprint;
+use syncircuit_graph::{CircuitGraph, Edge};
+
+/// Uniformly samples two current edges of the graph.
+fn sample_edge_pair(g: &CircuitGraph, rng: &mut StdRng) -> Option<(Edge, Edge)> {
+    let edges: Vec<Edge> = g.edges().collect();
+    if edges.len() < 2 {
+        return None;
+    }
+    let a = edges[rng.gen_range(0..edges.len())];
+    let b = edges[rng.gen_range(0..edges.len())];
+    Some((a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn apply_maintains_and_undo_restores(seed in any::<u64>(), n in 8usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_circuit_with_size(&mut rng, n);
+        let fp0 = zobrist_fingerprint(&g);
+        let mut sg = SwapGraph::new(g.clone());
+        prop_assert_eq!(sg.fingerprint(), fp0);
+
+        // Random trajectory of applied swaps with LIFO undo at the end.
+        let mut stack = Vec::new();
+        for _ in 0..60 {
+            let Some((a, b)) = sample_edge_pair(sg.graph(), &mut rng) else { break };
+            if let Some(d) = sg.try_apply(a.from, a.to, b.from, b.to) {
+                // after every accepted swap the incremental state matches
+                // a from-scratch rebuild
+                prop_assert!(sg.graph().is_valid(), "{:?}", sg.graph().validate());
+                prop_assert_eq!(sg.fingerprint(), zobrist_fingerprint(sg.graph()));
+                prop_assert!(sg.children_in_sync(), "children index out of sync");
+                prop_assert_eq!(sg.graph().in_degrees(), g.in_degrees());
+                prop_assert_eq!(sg.graph().out_degrees(), g.out_degrees());
+                stack.push(d);
+            } else {
+                // a rejected swap must leave no trace
+                prop_assert_eq!(sg.fingerprint(), zobrist_fingerprint(sg.graph()));
+                prop_assert!(sg.children_in_sync());
+            }
+        }
+        for d in stack.iter().rev() {
+            sg.undo(d);
+        }
+        prop_assert_eq!(sg.graph(), &g, "undo must restore the exact graph");
+        prop_assert_eq!(sg.fingerprint(), fp0);
+        prop_assert!(sg.children_in_sync());
+    }
+
+    #[test]
+    fn replay_is_identical_to_apply(seed in any::<u64>(), n in 8usize..32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_circuit_with_size(&mut rng, n);
+        let mut sg = SwapGraph::new(g.clone());
+        for _ in 0..40 {
+            let Some((a, b)) = sample_edge_pair(sg.graph(), &mut rng) else { break };
+            if let Some(d) = sg.try_apply(a.from, a.to, b.from, b.to) {
+                let applied = sg.graph().clone();
+                let fp_applied = sg.fingerprint();
+                sg.undo(&d);
+                sg.apply_replay(&d);
+                prop_assert_eq!(sg.graph(), &applied);
+                prop_assert_eq!(sg.fingerprint(), fp_applied);
+                prop_assert!(sg.children_in_sync());
+            }
+        }
+    }
+
+    #[test]
+    fn nested_undo_interleaves_exactly(seed in any::<u64>(), n in 8usize..30) {
+        // Apply k, undo some, apply more, undo all — a tree-descent
+        // pattern — and land exactly on the initial state.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_circuit_with_size(&mut rng, n);
+        let mut sg = SwapGraph::new(g.clone());
+        let mut stack = Vec::new();
+        for _round in 0..8 {
+            for _ in 0..6 {
+                let Some((a, b)) = sample_edge_pair(sg.graph(), &mut rng) else { break };
+                if let Some(d) = sg.try_apply(a.from, a.to, b.from, b.to) {
+                    stack.push(d);
+                }
+            }
+            let keep = rng.gen_range(0..=stack.len());
+            while stack.len() > keep {
+                let d = stack.pop().unwrap();
+                sg.undo(&d);
+            }
+            prop_assert_eq!(sg.fingerprint(), zobrist_fingerprint(sg.graph()));
+            prop_assert!(sg.children_in_sync());
+        }
+        while let Some(d) = stack.pop() {
+            sg.undo(&d);
+        }
+        prop_assert_eq!(sg.graph(), &g);
+        prop_assert_eq!(sg.fingerprint(), zobrist_fingerprint(&g));
+    }
+}

@@ -1,0 +1,383 @@
+//! Dirty-cone incremental PCS evaluation (Phase 3 reward acceleration).
+//!
+//! The exact Phase-3 reward re-synthesizes the *whole design* for every
+//! candidate swap ([`crate::passes::optimize_with`]), although one
+//! atomic parent swap perturbs at most a handful of register cones. This
+//! module decomposes the design-level PCS into per-cone synthesis
+//! results memoized by a structural cone key: a reward query only pays
+//! for synthesis of cones whose fan-in actually changed under the swap
+//! (cache miss); every untouched cone is a hash lookup.
+//!
+//! The decomposed metric is deliberately *not* bit-identical to
+//! whole-design PCS — global CSE can merge logic across cones, which no
+//! cone-local scheme can observe — but it is deterministic,
+//! self-consistent (warm cache ≡ cold cache, property-tested), and
+//! preserves the two reward gradients Phase 3 needs (paper §VI):
+//!
+//! - **cone collapse** — a register cone that folds to a constant
+//!   synthesizes to (near-)zero local area;
+//! - **fan-out deadness** — a register whose value never reaches a
+//!   primary output contributes nothing (global output-reachability
+//!   mask, recomputed in O(V + E) per query — cheap next to synthesis).
+//!
+//! Score: `(Σ observed register-cone areas + Σ output-cone areas) /
+//! node_count`, matching the whole-design PCS normalization.
+
+use crate::area::CellLibrary;
+use crate::passes::optimized_area;
+use std::collections::HashMap;
+use syncircuit_graph::cone::{cone_circuit, driving_cone};
+use syncircuit_graph::fingerprint::splitmix64;
+use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
+
+/// Cache hit/miss counters of a [`ConeSynthCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConeCacheStats {
+    /// Cone synthesis results served from the cache.
+    pub hits: u64,
+    /// Cone synthesis runs actually executed.
+    pub misses: u64,
+}
+
+/// Memoizing per-cone synthesis evaluator.
+///
+/// Keys are structural fingerprints of the cone — hashed *in the host
+/// graph* (boundary kinds, member attributes, cone-local wiring), so a
+/// warm query never materializes a cone circuit; the standalone circuit
+/// is only built on a cache miss, to be synthesized. Identical cones —
+/// across queries, registers, or even designs — share one synthesis
+/// run.
+#[derive(Debug)]
+pub struct ConeSynthCache {
+    lib: CellLibrary,
+    areas: HashMap<u64, f64>,
+    stats: ConeCacheStats,
+    /// Scratch host-id → cone-local-id map (tag-stamped, no clearing).
+    local_tag: Vec<u32>,
+    local_id: Vec<u32>,
+    tag: u32,
+}
+
+impl Default for ConeSynthCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConeSynthCache {
+    /// Evaluator with the default cell library.
+    pub fn new() -> Self {
+        Self::with_library(CellLibrary::default())
+    }
+
+    /// Evaluator with an explicit cell library.
+    pub fn with_library(lib: CellLibrary) -> Self {
+        ConeSynthCache {
+            lib,
+            areas: HashMap::new(),
+            stats: ConeCacheStats::default(),
+            local_tag: Vec::new(),
+            local_id: Vec::new(),
+            tag: 0,
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> ConeCacheStats {
+        self.stats
+    }
+
+    /// Incremental cone-decomposed PCS of `g` (larger ⇒ less redundancy).
+    ///
+    /// Deterministic in `g` alone: the cache only memoizes a pure
+    /// function of cone structure, so a warm evaluator returns exactly
+    /// what a cold one would.
+    pub fn pcs(&mut self, g: &CircuitGraph) -> f64 {
+        let n = g.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let observed = observed_mask(g);
+        let mut area = 0.0;
+        for r in g.nodes_of_type(NodeType::Reg) {
+            if !observed[r.index()] {
+                continue; // fan-out dead: synthesis would sweep it
+            }
+            let cone = driving_cone(g, r);
+            let key = self.cone_key(g, &cone.boundary, &cone.members, cone.register);
+            area += self.lookup_or_synth(key, || cone_circuit(g, &cone).circuit);
+        }
+        for o in g.nodes_of_type(NodeType::Output) {
+            let cone = sink_cone(g, o);
+            let key = self.cone_key(g, &cone.boundary, &cone.members, cone.output);
+            area += self.lookup_or_synth(key, || sink_cone_circuit(g, &cone));
+        }
+        area / n as f64
+    }
+
+    /// Memoized post-synthesis area; `build` materializes the standalone
+    /// cone circuit only when the key is new.
+    fn lookup_or_synth(&mut self, key: u64, build: impl FnOnce() -> CircuitGraph) -> f64 {
+        if let Some(&a) = self.areas.get(&key) {
+            self.stats.hits += 1;
+            return a;
+        }
+        self.stats.misses += 1;
+        let a = optimized_area(&build(), &self.lib);
+        self.areas.insert(key, a);
+        a
+    }
+
+    /// Structural key of a cone, computed in the host graph: assigns
+    /// cone-local ids in the same order the standalone constructors do
+    /// (boundary, members, apex) and hashes boundary kinds, node
+    /// attributes and local wiring with a splitmix64 chain. Equal cone
+    /// circuits hash equally regardless of host-graph node ids.
+    fn cone_key(&mut self, g: &CircuitGraph, boundary: &[NodeId], members: &[NodeId], apex: NodeId) -> u64 {
+        let n = g.node_count();
+        if self.local_tag.len() < n {
+            self.local_tag.resize(n, 0);
+            self.local_id.resize(n, 0);
+        }
+        self.tag = self.tag.wrapping_add(1);
+        if self.tag == 0 {
+            self.local_tag.fill(0);
+            self.tag = 1;
+        }
+        let tag = self.tag;
+        let mut next = 0u32;
+        for &b in boundary.iter().chain(members).chain(std::iter::once(&apex)) {
+            self.local_tag[b.index()] = tag;
+            self.local_id[b.index()] = next;
+            next += 1;
+        }
+
+        let mix = |h: u64, v: u64| splitmix64(h ^ v);
+        let mut h = splitmix64(next as u64 ^ 0xC0DE_C0DE_C0DE_C0DE);
+        for &b in boundary {
+            let node = g.node(b);
+            if node.ty() == NodeType::Const {
+                h = mix(h, 1);
+                h = mix(h, node.aux());
+            } else {
+                h = mix(h, 2);
+            }
+            h = mix(h, node.width() as u64);
+        }
+        for &m in members.iter().chain(std::iter::once(&apex)) {
+            let node = g.node(m);
+            h = mix(h, node.ty().category() as u64);
+            h = mix(h, node.width() as u64);
+            h = mix(h, node.aux());
+            let ps = g.parents(m);
+            h = mix(h, ps.len() as u64);
+            for &p in ps {
+                debug_assert_eq!(self.local_tag[p.index()], tag, "cone is parent-closed");
+                h = mix(h, self.local_id[p.index()] as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Nodes from which a primary output is reachable (reverse BFS from all
+/// outputs over parent edges, crossing registers).
+fn observed_mask(g: &CircuitGraph) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack: Vec<NodeId> = g.nodes_of_type(NodeType::Output);
+    for &o in &stack {
+        seen[o.index()] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &p in g.parents(u) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// The combinational cone feeding one output port: reverse BFS from the
+/// output stopping at (but recording) `const` / `in` / `reg`
+/// boundaries, mirroring register driving cones (§VI-A) with the output
+/// as apex.
+struct SinkCone {
+    output: NodeId,
+    members: Vec<NodeId>,
+    boundary: Vec<NodeId>,
+}
+
+fn sink_cone(g: &CircuitGraph, output: NodeId) -> SinkCone {
+    debug_assert!(g.ty(output).is_sink());
+    let mut members = Vec::new();
+    let mut boundary = Vec::new();
+    let mut seen = vec![false; g.node_count()];
+    seen[output.index()] = true;
+    let mut queue: Vec<NodeId> = g.parents(output).to_vec();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        if seen[u.index()] {
+            continue;
+        }
+        seen[u.index()] = true;
+        if matches!(g.ty(u), NodeType::Const | NodeType::Input | NodeType::Reg) {
+            boundary.push(u);
+        } else {
+            members.push(u);
+            for &p in g.parents(u) {
+                if !seen[p.index()] {
+                    queue.push(p);
+                }
+            }
+        }
+    }
+    SinkCone {
+        output,
+        members,
+        boundary,
+    }
+}
+
+/// Standalone synthesizable circuit of a sink cone (built on cache
+/// misses only).
+fn sink_cone_circuit(g: &CircuitGraph, cone: &SinkCone) -> CircuitGraph {
+    let mut out = CircuitGraph::new(format!("{}_sink_{}", g.name(), cone.output));
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
+    for &b in &cone.boundary {
+        let node = g.node(b);
+        let new = match node.ty() {
+            NodeType::Const => out.add_const(node.width(), node.aux()),
+            _ => out.add_node(NodeType::Input, node.width()),
+        };
+        mapping.insert(b, new);
+    }
+    for &m in &cone.members {
+        mapping.insert(m, out.push_node(*g.node(m)));
+    }
+    let apex = out.push_node(*g.node(cone.output));
+    mapping.insert(cone.output, apex);
+    for &m in cone.members.iter().chain(std::iter::once(&cone.output)) {
+        let new_parents: Vec<NodeId> = g.parents(m).iter().map(|p| mapping[p]).collect();
+        out.set_parents_unchecked(mapping[&m], &new_parents);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alive_and_dead() -> (CircuitGraph, CircuitGraph) {
+        // alive: xor(i1, i2) → reg → out. dead: xor(i, i) → reg → out.
+        let mut alive = CircuitGraph::new("alive");
+        let i1 = alive.add_node(NodeType::Input, 8);
+        let i2 = alive.add_node(NodeType::Input, 8);
+        let x = alive.add_node(NodeType::Xor, 8);
+        let r = alive.add_node(NodeType::Reg, 8);
+        let o = alive.add_node(NodeType::Output, 8);
+        alive.set_parents(x, &[i1, i2]).unwrap();
+        alive.set_parents(r, &[x]).unwrap();
+        alive.set_parents(o, &[r]).unwrap();
+
+        let mut dead = CircuitGraph::new("dead");
+        let i = dead.add_node(NodeType::Input, 8);
+        let i2 = dead.add_node(NodeType::Input, 8);
+        let x = dead.add_node(NodeType::Xor, 8);
+        let r = dead.add_node(NodeType::Reg, 8);
+        let o = dead.add_node(NodeType::Output, 8);
+        let _ = i2;
+        dead.set_parents(x, &[i, i]).unwrap();
+        dead.set_parents(r, &[x]).unwrap();
+        dead.set_parents(o, &[r]).unwrap();
+        (alive, dead)
+    }
+
+    #[test]
+    fn orders_cone_collapse() {
+        let (alive, dead) = alive_and_dead();
+        let mut ev = ConeSynthCache::new();
+        assert!(ev.pcs(&alive) > ev.pcs(&dead));
+    }
+
+    #[test]
+    fn fanout_dead_register_scores_lower() {
+        // observed: in → reg → out. unobserved: in → reg, out ← in.
+        let mut obs = CircuitGraph::new("obs");
+        let i = obs.add_node(NodeType::Input, 8);
+        let r = obs.add_node(NodeType::Reg, 8);
+        let o = obs.add_node(NodeType::Output, 8);
+        obs.set_parents(r, &[i]).unwrap();
+        obs.set_parents(o, &[r]).unwrap();
+
+        let mut dead = CircuitGraph::new("deadfan");
+        let i = dead.add_node(NodeType::Input, 8);
+        let r = dead.add_node(NodeType::Reg, 8);
+        let o = dead.add_node(NodeType::Output, 8);
+        dead.set_parents(r, &[i]).unwrap();
+        dead.set_parents(o, &[i]).unwrap();
+
+        let mut ev = ConeSynthCache::new();
+        assert!(ev.pcs(&obs) > ev.pcs(&dead));
+    }
+
+    #[test]
+    fn warm_cache_matches_cold_cache() {
+        let (alive, dead) = alive_and_dead();
+        let mut warm = ConeSynthCache::new();
+        let w1 = warm.pcs(&alive);
+        let w2 = warm.pcs(&dead);
+        let w3 = warm.pcs(&alive);
+        let mut cold = ConeSynthCache::new();
+        assert_eq!(cold.pcs(&alive), w1);
+        let mut cold = ConeSynthCache::new();
+        assert_eq!(cold.pcs(&dead), w2);
+        assert_eq!(w1, w3, "re-evaluation must be exact");
+    }
+
+    #[test]
+    fn repeated_queries_hit_cache() {
+        let (alive, _) = alive_and_dead();
+        let mut ev = ConeSynthCache::new();
+        ev.pcs(&alive);
+        let misses_after_first = ev.stats().misses;
+        ev.pcs(&alive);
+        assert_eq!(ev.stats().misses, misses_after_first, "second query is all hits");
+        assert!(ev.stats().hits > 0);
+    }
+
+    #[test]
+    fn shared_cone_structure_shares_entries() {
+        // Two registers with identical cones: one synthesis, one hit.
+        let mut g = CircuitGraph::new("twin");
+        let i = g.add_node(NodeType::Input, 8);
+        let n1 = g.add_node(NodeType::Not, 8);
+        let n2 = g.add_node(NodeType::Not, 8);
+        let r1 = g.add_node(NodeType::Reg, 8);
+        let r2 = g.add_node(NodeType::Reg, 8);
+        let o1 = g.add_node(NodeType::Output, 8);
+        let o2 = g.add_node(NodeType::Output, 8);
+        g.set_parents(n1, &[i]).unwrap();
+        g.set_parents(n2, &[i]).unwrap();
+        g.set_parents(r1, &[n1]).unwrap();
+        g.set_parents(r2, &[n2]).unwrap();
+        g.set_parents(o1, &[r1]).unwrap();
+        g.set_parents(o2, &[r2]).unwrap();
+        let mut ev = ConeSynthCache::new();
+        ev.pcs(&g);
+        assert!(
+            ev.stats().hits >= 1,
+            "structurally identical cones must share a cache entry: {:?}",
+            ev.stats()
+        );
+    }
+
+    #[test]
+    fn empty_graph_scores_zero() {
+        let mut ev = ConeSynthCache::new();
+        assert_eq!(ev.pcs(&CircuitGraph::new("empty")), 0.0);
+    }
+}

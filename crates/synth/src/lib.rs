@@ -45,13 +45,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod incremental;
 pub mod labels;
 pub mod passes;
 pub mod sta;
 
 pub use area::{area_of_graph, gate_count, CellLibrary};
+pub use incremental::{ConeCacheStats, ConeSynthCache};
 pub use labels::{label_design, DesignLabels, LabelConfig};
-pub use passes::{optimize, SynthResult, SynthStats};
+pub use passes::{optimize, optimized_area, pcs_with, SynthResult, SynthStats};
 pub use sta::{timing_analysis, TimingReport};
 
 /// Sequential cell preservation ratio (paper §VI): sequential bits in the

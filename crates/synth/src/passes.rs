@@ -65,33 +65,120 @@ pub fn optimize(g: &CircuitGraph) -> SynthResult {
     optimize_with(g, &CellLibrary::default())
 }
 
-/// Runs the full optimization pipeline with an explicit cell library.
-pub fn optimize_with(g: &CircuitGraph, lib: &CellLibrary) -> SynthResult {
+/// Fixed-capacity parent slots (arity ≤ 3 = Mux): the working copy of
+/// the wiring during optimization, flat in one `Vec` so the passes make
+/// zero per-node heap allocations.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slots {
+    p: [usize; 3],
+    len: u8,
+}
+
+impl Slots {
+    fn from_ids(ids: &[NodeId]) -> Slots {
+        debug_assert!(ids.len() <= 3, "node arity exceeds Mux");
+        let mut s = Slots::default();
+        for &id in ids {
+            s.p[s.len as usize] = id.index();
+            s.len += 1;
+        }
+        s
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.p[..self.len as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// Runs the fold/CSE fixpoint, returning the final working state.
+fn run_fixpoint(g: &CircuitGraph) -> (Vec<Node>, Vec<Slots>, Vec<Option<usize>>) {
     debug_assert!(g.is_valid(), "optimize requires a valid graph");
     let n = g.node_count();
     let mut nodes: Vec<Node> = g.iter().map(|(_, node)| *node).collect();
-    let mut parents: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            g.parents(NodeId::new(i))
-                .iter()
-                .map(|p| p.index())
-                .collect()
-        })
+    let mut parents: Vec<Slots> = (0..n)
+        .map(|i| Slots::from_ids(g.parents(NodeId::new(i))))
         .collect();
     let mut repl: Vec<Option<usize>> = vec![None; n];
 
     let mut rounds = 0usize;
+    let mut cse_seen = CseMap::new();
     loop {
         let mut changed = false;
         changed |= fold_and_simplify(&mut nodes, &mut parents, &mut repl);
-        changed |= cse(&nodes, &parents, &mut repl);
+        changed |= cse(&nodes, &parents, &mut repl, &mut cse_seen);
         rounds += 1;
         if !changed || rounds > n + 4 {
             break;
         }
     }
+    (nodes, parents, repl)
+}
 
+/// Liveness: reverse reachability from outputs over resolved parents.
+fn liveness(nodes: &[Node], parents: &[Slots], repl: &[Option<usize>]) -> Vec<bool> {
+    let n = nodes.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = (0..n)
+        .filter(|&u| repl[u].is_none() && nodes[u].ty() == NodeType::Output)
+        .collect();
+    for &s in &stack {
+        live[s] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &p in parents[u].as_slice() {
+            let p = resolve(repl, p);
+            if !live[p] {
+                live[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    live
+}
+
+/// Runs the full optimization pipeline with an explicit cell library.
+pub fn optimize_with(g: &CircuitGraph, lib: &CellLibrary) -> SynthResult {
+    let (nodes, parents, repl) = run_fixpoint(g);
     compact(g, &nodes, &parents, &repl, lib)
+}
+
+/// Post-synthesis circuit size of `g` without materializing the
+/// compacted netlist: runs the same fixpoint and liveness, then sums
+/// cell areas of the surviving nodes directly. Bit-identical to
+/// `crate::pcs(&optimize_with(g, lib))` (same nodes, same summation
+/// order), but skips netlist construction, the register map, and the
+/// before-side statistics — the Phase-3 reward hot path.
+pub fn pcs_with(g: &CircuitGraph, lib: &CellLibrary) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    optimized_area(g, lib) / n as f64
+}
+
+/// Post-synthesis cell area of `g` without materializing the netlist;
+/// bit-identical to `optimize_with(g, lib).stats.area_after`.
+pub fn optimized_area(g: &CircuitGraph, lib: &CellLibrary) -> f64 {
+    let (nodes, parents, repl) = run_fixpoint(g);
+    let live = liveness(&nodes, &parents, &repl);
+    let mut area = 0.0;
+    for u in 0..nodes.len() {
+        if live[u] && repl[u].is_none() {
+            area += lib.node_area(&nodes[u]);
+        }
+    }
+    area
 }
 
 fn resolve(repl: &[Option<usize>], mut u: usize) -> usize {
@@ -113,7 +200,7 @@ fn is_const(nodes: &[Node], u: usize) -> Option<u64> {
 
 fn fold_and_simplify(
     nodes: &mut [Node],
-    parents: &mut [Vec<usize>],
+    parents: &mut [Slots],
     repl: &mut [Option<usize>],
 ) -> bool {
     let n = nodes.len();
@@ -126,9 +213,16 @@ fn fold_and_simplify(
         if matches!(ty, NodeType::Input | NodeType::Const | NodeType::Output) {
             continue;
         }
-        // Resolve parents through the replacement map.
-        let ps: Vec<usize> = parents[u].iter().map(|&p| resolve(repl, p)).collect();
-        parents[u] = ps.clone();
+        // Resolve parents through the replacement map, in place (arity
+        // is at most 3, so a stack buffer avoids per-node allocations).
+        let arity = parents[u].len();
+        let mut ps_buf = [0usize; 3];
+        for (slot, p) in ps_buf.iter_mut().enumerate().take(arity) {
+            let r = resolve(repl, parents[u].p[slot]);
+            parents[u].p[slot] = r;
+            *p = r;
+        }
+        let ps = &ps_buf[..arity];
         let w = nodes[u].width();
         let same_width = |v: usize, nodes: &[Node]| nodes[v].width() == w;
 
@@ -143,7 +237,11 @@ fn fold_and_simplify(
         }
 
         // Full constant folding.
-        let const_vals: Vec<Option<u64>> = ps.iter().map(|&p| is_const(nodes, p)).collect();
+        let mut const_buf = [None; 3];
+        for (slot, v) in const_buf.iter_mut().enumerate().take(arity) {
+            *v = is_const(nodes, ps[slot]);
+        }
+        let const_vals = &const_buf[..arity];
         if !ps.is_empty() && const_vals.iter().all(Option::is_some) {
             let aux = if ty == NodeType::Concat {
                 nodes[ps[1]].width() as u64
@@ -166,7 +264,7 @@ fn fold_and_simplify(
                     replace_with = Some(ps[0]);
                 } else if const_vals.iter().flatten().any(|&v| v & mask(w) == 0) {
                     rewrite_const = Some(0);
-                } else if let Some(k) = all_ones_side(&const_vals, w) {
+                } else if let Some(k) = all_ones_side(const_vals, w) {
                     let other = ps[1 - k];
                     if same_width(other, nodes) {
                         replace_with = Some(other);
@@ -176,19 +274,19 @@ fn fold_and_simplify(
             NodeType::Or => {
                 if ps[0] == ps[1] && same_width(ps[0], nodes) {
                     replace_with = Some(ps[0]);
-                } else if let Some(k) = zero_side(&const_vals) {
+                } else if let Some(k) = zero_side(const_vals) {
                     let other = ps[1 - k];
                     if same_width(other, nodes) {
                         replace_with = Some(other);
                     }
-                } else if all_ones_side(&const_vals, w).is_some() {
+                } else if all_ones_side(const_vals, w).is_some() {
                     rewrite_const = Some(mask(w));
                 }
             }
             NodeType::Xor => {
                 if ps[0] == ps[1] {
                     rewrite_const = Some(0);
-                } else if let Some(k) = zero_side(&const_vals) {
+                } else if let Some(k) = zero_side(const_vals) {
                     let other = ps[1 - k];
                     if same_width(other, nodes) {
                         replace_with = Some(other);
@@ -196,7 +294,7 @@ fn fold_and_simplify(
                 }
             }
             NodeType::Add => {
-                if let Some(k) = zero_side(&const_vals) {
+                if let Some(k) = zero_side(const_vals) {
                     let other = ps[1 - k];
                     if same_width(other, nodes) {
                         replace_with = Some(other);
@@ -252,7 +350,7 @@ fn fold_and_simplify(
                     && repl[inner].is_none()
                     && same_width(inner, nodes)
                 {
-                    let x = resolve(repl, parents[inner][0]);
+                    let x = resolve(repl, parents[inner].p[0]);
                     if same_width(x, nodes) && x != u {
                         replace_with = Some(x);
                     }
@@ -293,8 +391,16 @@ fn all_ones_side(const_vals: &[Option<u64>], w: u32) -> Option<usize> {
 /// constants, combinational nodes and registers with identical
 /// (type, width, aux, parents) do. Commutative operators sort their
 /// parent pair before keying.
-fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut [Option<usize>]) -> bool {
-    let mut seen: HashMap<(NodeType, u32, u64, Vec<usize>), usize> = HashMap::new();
+///
+/// Keys are `Copy` stack tuples (arity ≤ 3, padded with `usize::MAX`
+/// and disambiguated by the explicit length), so the per-node `Vec`
+/// key allocations of the original implementation are gone; the map
+/// itself is caller-owned scratch reused across fixpoint rounds.
+type CseKey = (NodeType, u32, u64, [usize; 3], u8);
+type CseMap = HashMap<CseKey, usize>;
+
+fn cse(nodes: &[Node], parents: &[Slots], repl: &mut [Option<usize>], seen: &mut CseMap) -> bool {
+    seen.clear();
     let mut changed = false;
     for u in 0..nodes.len() {
         if repl[u].is_some() {
@@ -304,14 +410,18 @@ fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut [Option<usize>]) -> bo
         if matches!(ty, NodeType::Input | NodeType::Output) {
             continue;
         }
-        let mut ps: Vec<usize> = parents[u].iter().map(|&p| resolve(repl, p)).collect();
+        let len = parents[u].len();
+        let mut ps = [usize::MAX; 3];
+        for (slot, p) in ps.iter_mut().enumerate().take(len) {
+            *p = resolve(repl, parents[u].p[slot]);
+        }
         if matches!(
             ty,
             NodeType::And | NodeType::Or | NodeType::Xor | NodeType::Add | NodeType::Mul | NodeType::Eq
         ) {
-            ps.sort_unstable();
+            ps[..len].sort_unstable();
         }
-        let key = (ty, nodes[u].width(), nodes[u].aux(), ps);
+        let key = (ty, nodes[u].width(), nodes[u].aux(), ps, len as u8);
         match seen.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 let canon = *e.get();
@@ -332,28 +442,12 @@ fn cse(nodes: &[Node], parents: &[Vec<usize>], repl: &mut [Option<usize>]) -> bo
 fn compact(
     original: &CircuitGraph,
     nodes: &[Node],
-    parents: &[Vec<usize>],
+    parents: &[Slots],
     repl: &[Option<usize>],
     lib: &CellLibrary,
 ) -> SynthResult {
     let n = nodes.len();
-    // Liveness: reverse reachability from outputs over resolved parents.
-    let mut live = vec![false; n];
-    let mut stack: Vec<usize> = (0..n)
-        .filter(|&u| repl[u].is_none() && nodes[u].ty() == NodeType::Output)
-        .collect();
-    for &s in &stack {
-        live[s] = true;
-    }
-    while let Some(u) = stack.pop() {
-        for &p in &parents[u] {
-            let p = resolve(repl, p);
-            if !live[p] {
-                live[p] = true;
-                stack.push(p);
-            }
-        }
-    }
+    let live = liveness(nodes, parents, repl);
 
     let mut netlist = CircuitGraph::new(original.name());
     let mut old_to_new: Vec<Option<NodeId>> = vec![None; n];
@@ -362,13 +456,14 @@ fn compact(
             old_to_new[u] = Some(netlist.push_node(nodes[u]));
         }
     }
+    let mut buf = [NodeId::new(0); 3];
     for u in 0..n {
         let Some(new_id) = old_to_new[u] else { continue };
-        let new_parents: Vec<NodeId> = parents[u]
-            .iter()
-            .map(|&p| old_to_new[resolve(repl, p)].expect("live node's parent must be live"))
-            .collect();
-        netlist.set_parents_unchecked(new_id, &new_parents);
+        let k = parents[u].len();
+        for (slot, &p) in parents[u].as_slice().iter().enumerate() {
+            buf[slot] = old_to_new[resolve(repl, p)].expect("live node's parent must be live");
+        }
+        netlist.set_parents_unchecked(new_id, &buf[..k]);
     }
 
     let mut reg_map = HashMap::new();
@@ -562,6 +657,25 @@ mod tests {
         assert_eq!(res.stats.seq_bits_after, 8);
         assert_eq!(res.stats.nodes_after, 4);
         assert!((crate::scpr(&res) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcs_with_is_bit_identical_to_full_pipeline() {
+        use rand::{rngs::StdRng, SeedableRng};
+        use syncircuit_graph::testing::random_circuit_with_size;
+        let lib = CellLibrary::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [5usize, 12, 25, 40, 60] {
+            let g = random_circuit_with_size(&mut rng, n);
+            let full = crate::pcs(&optimize_with(&g, &lib));
+            let fast = pcs_with(&g, &lib);
+            assert_eq!(
+                full.to_bits(),
+                fast.to_bits(),
+                "pcs_with must match the materializing pipeline on {n} nodes"
+            );
+        }
+        assert_eq!(pcs_with(&CircuitGraph::new("empty"), &lib), 0.0);
     }
 
     #[test]

@@ -23,6 +23,13 @@ fmt-check:
 bench-smoke:
     cargo bench -p syncircuit-bench --bench micro
 
+# machine-readable perf trajectory: run the micro bench with JSON
+# capture, then merge into BENCH_phase3.json (baseline preserved,
+# current refreshed, per-bench speedup derived)
+bench-json:
+    BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
+    cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json BENCH_phase3.json
+
 # run every table/figure harness (slow; regenerates the paper numbers)
 bench-all:
     cargo bench -p syncircuit-bench

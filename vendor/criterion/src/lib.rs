@@ -9,10 +9,47 @@
 //! measurement belongs to real Criterion once the build environment has
 //! registry access.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Re-export so `criterion::black_box` resolves.
 pub use std::hint::black_box;
+
+/// Process-wide collector of `(name, mean_ns)` results, used when the
+/// `BENCH_JSON` environment variable points at an output path.
+static RESULTS: OnceLock<Mutex<Vec<(String, u128)>>> = OnceLock::new();
+
+/// Records one result and rewrites the `BENCH_JSON` file (if set) with
+/// every measurement of the process so far, as a flat
+/// `{"bench_name": mean_ns}` JSON object.
+fn record_result(name: &str, mean_ns: u128) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut results = results.lock().expect("bench results poisoned");
+    results.push((name.to_string(), mean_ns));
+    let mut out = String::from("{\n");
+    for (i, (n, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  \"");
+        for c in n.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!("\": {ns}"));
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Benchmark driver.
 #[derive(Clone, Debug)]
@@ -48,6 +85,7 @@ impl Criterion {
         if bencher.timed_iters > 0 {
             let per_iter = bencher.elapsed_ns / bencher.timed_iters as u128;
             println!("bench: {name:<40} {:>12} ns/iter ({} iters)", per_iter, bencher.timed_iters);
+            record_result(name, per_iter);
         } else {
             println!("bench: {name:<40} (no measurement)");
         }

@@ -76,7 +76,14 @@ macro_rules! impl_range_int {
             fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                // u64 fast path (identical result: `x mod s` is the same
+                // computed at either width when `s` fits in u64); the
+                // u128 modulo is measurable on sampling hot paths.
+                let v = if span <= u64::MAX as u128 {
+                    (rng.next_u64() % span as u64) as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
                 (self.start as i128 + v as i128) as $t
             }
         }
@@ -85,7 +92,11 @@ macro_rules! impl_range_int {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "gen_range: empty inclusive range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
+                let v = if span <= u64::MAX as u128 {
+                    (rng.next_u64() % span as u64) as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
                 (lo as i128 + v as i128) as $t
             }
         }
