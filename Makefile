@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check bench-smoke bench-json bench-all determinism ci
+.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json bench-all determinism ci
 
 build:
 	cargo build --release
@@ -13,6 +13,12 @@ lint:
 
 fmt-check:
 	cargo fmt --all -- --check
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+example-smoke:
+	cargo run --release --example quickstart
 
 bench-smoke:
 	cargo bench -p syncircuit-bench --bench micro
@@ -30,4 +36,4 @@ determinism:
 	diff /tmp/syncircuit-run1.txt /tmp/syncircuit-run2.txt
 	@echo "deterministic: two runs identical"
 
-ci: build test lint
+ci: build test lint doc example-smoke

@@ -86,7 +86,7 @@ impl Dvae {
         // edge score for (prev state, current state) pair
         let edge_head = Mlp::new(&mut store, &[2 * config.hidden, config.hidden, 1], &mut rng);
         let node_proj = Linear::new(&mut store, config.hidden, config.hidden, &mut rng);
-        let attrs = AttrModel::fit(graphs);
+        let attrs = AttrModel::fit(graphs).expect("baseline training needs a non-empty corpus");
         let mut adam = Adam::with_lr(config.lr);
 
         // Prepared sequences: features in topo order + adjacency targets.

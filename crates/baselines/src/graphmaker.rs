@@ -71,7 +71,7 @@ impl GraphMaker {
         GraphMaker {
             rate,
             gravity: GravityDirection::fit(graphs),
-            attrs: AttrModel::fit(graphs),
+            attrs: AttrModel::fit(graphs).expect("baseline training needs a non-empty corpus"),
             mean_degree: total_edges as f64 / total_nodes.max(1) as f64,
         }
     }

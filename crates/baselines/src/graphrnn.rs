@@ -80,7 +80,7 @@ impl GraphRnn {
             &[config.hidden, config.hidden, config.window],
             &mut rng,
         );
-        let attrs = AttrModel::fit(graphs);
+        let attrs = AttrModel::fit(graphs).expect("baseline training needs a non-empty corpus");
         let mut adam = Adam::with_lr(config.lr);
 
         // Prepare training sequences.

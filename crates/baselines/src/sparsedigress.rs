@@ -180,7 +180,7 @@ impl SparseDigress {
             store,
             mlp,
             gravity: GravityDirection::fit(graphs),
-            attrs: AttrModel::fit(graphs),
+            attrs: AttrModel::fit(graphs).expect("baseline training needs a non-empty corpus"),
             mean_degree,
             config,
         }

@@ -13,7 +13,7 @@
 
 use syncircuit_bench::{banner, cell, generate_set, train_graphs, EXPERIMENT_SEED};
 use syncircuit_core::{
-    DecodeMode, ExactSynthReward, PcsDiscriminator, RewardModel, SynCircuit,
+    DecodeMode, ExactSynthReward, GenRequest, PcsDiscriminator, RewardModel, SynCircuit,
 };
 use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
 use syncircuit_metrics::compare_against_real;
@@ -32,11 +32,15 @@ fn main() {
         ("sparse(12)", DecodeMode::Sparse { candidates_per_node: 12 }),
         ("sparse(4)", DecodeMode::Sparse { candidates_per_node: 4 }),
     ] {
-        let mut cfg = syncircuit_bench::syncircuit_config(false);
-        cfg.diffusion.decode = decode;
-        cfg.diffusion.epochs = 40;
+        let base = syncircuit_bench::syncircuit_config(false);
+        let mut diffusion = base.diffusion().clone();
+        diffusion.decode = decode;
+        diffusion.epochs = 40;
+        let cfg = base.into_builder().diffusion(diffusion).build().expect("valid config");
         let model = SynCircuit::fit(&corpus, cfg).expect("fit");
-        let set = generate_set(4, |s| model.generate_seeded(n, s).map(|g| g.gval).ok());
+        let set = generate_set(4, |s| {
+            model.generate_one(&GenRequest::nodes(n).seeded(s)).map(|g| g.gval).ok()
+        });
         let c = compare_against_real(&eval.graph, &set);
         println!(
             "  {:<12} W1 deg {:>7}  cluster {:>7}  orbit {:>8}  aggregate {:>7}",
@@ -51,11 +55,21 @@ fn main() {
     // --- 2. out-degree guidance ---
     println!("\n(2) out-degree guidance in Phase 2:");
     for (name, guidance) in [("with guidance", true), ("without", false)] {
-        let mut cfg = syncircuit_bench::syncircuit_config(false);
-        cfg.refine.degree_guidance = guidance;
-        cfg.diffusion.epochs = 40;
+        let base = syncircuit_bench::syncircuit_config(false);
+        let mut refine = base.refine().clone();
+        refine.degree_guidance = guidance;
+        let mut diffusion = base.diffusion().clone();
+        diffusion.epochs = 40;
+        let cfg = base
+            .into_builder()
+            .refine(refine)
+            .diffusion(diffusion)
+            .build()
+            .expect("valid config");
         let model = SynCircuit::fit(&corpus, cfg).expect("fit");
-        let set = generate_set(4, |s| model.generate_seeded(n, s).map(|g| g.gval).ok());
+        let set = generate_set(4, |s| {
+            model.generate_one(&GenRequest::nodes(n).seeded(s)).map(|g| g.gval).ok()
+        });
         let c = compare_against_real(&eval.graph, &set);
         println!(
             "  {:<14} W1 out-degree {:>7} (lower = closer to the real scale-free profile)",
@@ -73,15 +87,19 @@ fn main() {
             samples.push(cone_circuit(g, &cone).circuit);
         }
     }
-    let disc = PcsDiscriminator::train(&samples, 400, EXPERIMENT_SEED);
+    let disc = PcsDiscriminator::train(&samples, 400, EXPERIMENT_SEED).expect("non-empty cones");
     let err = disc.validate(&samples);
     println!("  mean relative PCS error on the training corpus: {}", cell(err));
 
     // rank agreement on held-out synthetic designs
-    let mut cfg = syncircuit_bench::syncircuit_config(false);
-    cfg.diffusion.epochs = 40;
+    let base = syncircuit_bench::syncircuit_config(false);
+    let mut diffusion = base.diffusion().clone();
+    diffusion.epochs = 40;
+    let cfg = base.into_builder().diffusion(diffusion).build().expect("valid config");
     let model = SynCircuit::fit(&corpus, cfg).expect("fit");
-    let designs = generate_set(6, |s| model.generate_seeded(60, s).map(|g| g.gval).ok());
+    let designs = generate_set(6, |s| {
+        model.generate_one(&GenRequest::nodes(60).seeded(s)).map(|g| g.gval).ok()
+    });
     let exact = ExactSynthReward::new();
     let exact_scores: Vec<f64> = designs.iter().map(|g| exact.pcs(g)).collect();
     let disc_scores: Vec<f64> = designs.iter().map(|g| disc.pcs(g)).collect();

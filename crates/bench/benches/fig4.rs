@@ -9,7 +9,8 @@
 
 use syncircuit_bench::{banner, cell, five_number_summary, generate_set, train_syncircuit};
 use syncircuit_core::{
-    optimize_random_walk, optimize_registers, ConeSelection, ExactSynthReward, MctsConfig,
+    optimize_random_walk, optimize_registers, ConeSelection, ExactSynthReward, GenRequest,
+    MctsConfig,
 };
 use syncircuit_graph::CircuitGraph;
 use syncircuit_synth::{optimize, scpr};
@@ -25,7 +26,9 @@ fn main() {
     banner("Figure 4: SCPR refinement", "paper §VII-B.2 Fig. 4");
     println!("training SynCircuit (w/o Phase 3) and generating {BATCH} G_val designs...");
     let syn = train_syncircuit(false);
-    let gvals = generate_set(BATCH, |s| syn.generate_seeded(NODES, s).map(|g| g.gval).ok());
+    let gvals = generate_set(BATCH, |s| {
+        syn.generate_one(&GenRequest::nodes(NODES).seeded(s)).map(|g| g.gval).ok()
+    });
 
     let mcts_cfg = MctsConfig {
         simulations: 25,

@@ -7,6 +7,7 @@
 //! real designs' heavier-tailed timing behavior.
 
 use syncircuit_bench::{banner, cell, five_number_summary, generate_set, train_dvae, train_graphrnn, train_syncircuit};
+use syncircuit_core::GenRequest;
 use syncircuit_datasets::corpus;
 use syncircuit_graph::CircuitGraph;
 use syncircuit_synth::{label_design, LabelConfig};
@@ -34,7 +35,9 @@ fn main() {
     let dvae = train_dvae();
 
     let real: Vec<CircuitGraph> = corpus().into_iter().map(|d| d.graph).collect();
-    let syn_set = generate_set(SET_SIZE, |s| syn.generate_seeded(NODES, s).map(|g| g.graph).ok());
+    let syn_set = generate_set(SET_SIZE, |s| {
+        syn.generate_one(&GenRequest::nodes(NODES).seeded(s)).map(|g| g.graph).ok()
+    });
     let rnn_set = generate_set(SET_SIZE, |s| graphrnn.generate(NODES, s).ok());
     let dvae_set = generate_set(SET_SIZE, |s| dvae.generate(NODES, s).ok());
 

@@ -43,7 +43,7 @@ fn bench_diffusion_sample(c: &mut Criterion) {
         .collect();
     let mut cfg = DiffusionConfig::tiny();
     cfg.epochs = 5;
-    let model = DiffusionModel::train(&corpus, cfg, 1);
+    let model = DiffusionModel::train(&corpus, cfg, 1).expect("non-empty corpus");
     let attrs: Vec<_> = corpus[0].iter().map(|(_, n)| *n).collect();
     c.bench_function("diffusion_sample_36_nodes", |b| {
         let mut seed = 0u64;
@@ -62,8 +62,8 @@ fn bench_refine(c: &mut Criterion) {
         .collect();
     let mut cfg = DiffusionConfig::tiny();
     cfg.epochs = 5;
-    let model = DiffusionModel::train(&corpus, cfg, 1);
-    let attr_model = syncircuit_core::AttrModel::fit(&corpus);
+    let model = DiffusionModel::train(&corpus, cfg, 1).expect("non-empty corpus");
+    let attr_model = syncircuit_core::AttrModel::fit(&corpus).expect("non-empty corpus");
     let attrs: Vec<_> = corpus[0].iter().map(|(_, n)| *n).collect();
     let sampled = model.sample(&attrs, 3);
     c.bench_function("refine_36_nodes", |b| {

@@ -11,6 +11,7 @@
 
 use syncircuit_bench::{banner, cell, generate_set, train_dvae, train_graphrnn, train_syncircuit};
 use syncircuit_baselines::{GraphMaker, SparseDigress, SparseDigressConfig};
+use syncircuit_core::GenRequest;
 use syncircuit_bench::{train_graphs, EXPERIMENT_SEED};
 use syncircuit_datasets::design;
 use syncircuit_graph::CircuitGraph;
@@ -54,11 +55,19 @@ fn main() {
         ),
         (
             "SynCircuit w/o diff",
-            Box::new(|n, s| syn.generate_without_diffusion(n, s).ok()),
+            Box::new(|n, s| {
+                syn.generate_one(
+                    &GenRequest::nodes(n).seeded(s).without_diffusion().optimize(false),
+                )
+                .map(|g| g.graph)
+                .ok()
+            }),
         ),
         (
             "SynCircuit w/ diff",
-            Box::new(|n, s| syn.generate_seeded(n, s).map(|g| g.gval).ok()),
+            Box::new(|n, s| {
+                syn.generate_one(&GenRequest::nodes(n).seeded(s)).map(|g| g.gval).ok()
+            }),
         ),
     ];
 

@@ -11,6 +11,7 @@
 use syncircuit_bench::{
     banner, cell, generate_set, split, train_dvae, train_graphrnn, train_syncircuit,
 };
+use syncircuit_core::GenRequest;
 use syncircuit_graph::CircuitGraph;
 use syncircuit_ppa::{label_all, run_task, LabeledDesign, PpaReport, Target};
 use syncircuit_synth::LabelConfig;
@@ -73,13 +74,19 @@ fn main() {
         (
             "SynCircuit w/o opt",
             generate_set(AUG_SIZE, |s| {
-                syn_noopt.generate_seeded(budget_for(s), s).map(|g| g.gval).ok()
+                syn_noopt
+                    .generate_one(&GenRequest::nodes(budget_for(s)).seeded(s))
+                    .map(|g| g.gval)
+                    .ok()
             }),
         ),
         (
             "SynCircuit w/ opt",
             generate_set(AUG_SIZE, |s| {
-                syn_opt.generate_seeded(budget_for(s), s).map(|g| g.graph).ok()
+                syn_opt
+                    .generate_one(&GenRequest::nodes(budget_for(s)).seeded(s))
+                    .map(|g| g.graph)
+                    .ok()
             }),
         ),
     ];

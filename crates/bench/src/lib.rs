@@ -33,8 +33,8 @@ pub fn train_graphs() -> Vec<CircuitGraph> {
 /// Experiment-scale SynCircuit configuration: large enough to learn the
 /// corpus, small enough for CPU benches.
 pub fn syncircuit_config(optimize: bool) -> PipelineConfig {
-    PipelineConfig {
-        diffusion: DiffusionConfig {
+    PipelineConfig::builder()
+        .diffusion(DiffusionConfig {
             hidden: 32,
             layers: 3,
             steps: 6,
@@ -45,19 +45,20 @@ pub fn syncircuit_config(optimize: bool) -> PipelineConfig {
                 candidates_per_node: 12,
             },
             grad_clip: 5.0,
-        },
-        refine: RefineConfig::default(),
-        mcts: MctsConfig {
+        })
+        .refine(RefineConfig::default())
+        .mcts(MctsConfig {
             simulations: 60,
             max_depth: 6,
             actions_per_expansion: 10,
             ..MctsConfig::default()
-        },
-        optimize_redundancy: optimize,
-        cone_selection: ConeSelection::All,
-        reward: RewardKind::Discriminator { epochs: 300 },
-        seed: EXPERIMENT_SEED,
-    }
+        })
+        .optimize_redundancy(optimize)
+        .cone_selection(ConeSelection::All)
+        .reward(RewardKind::Discriminator { epochs: 300 })
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("experiment configuration is valid")
 }
 
 /// Trains the SynCircuit pipeline on the 15 training designs.

@@ -8,6 +8,7 @@
 //! footnote 2). This module implements that empirical distribution:
 //! joint (type, width) histogram plus const-value statistics.
 
+use crate::error::Error;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use syncircuit_graph::{CircuitGraph, Node, NodeType, ALL_NODE_TYPES};
@@ -34,10 +35,11 @@ fn bucket(width: u32) -> usize {
 impl AttrModel {
     /// Fits the attribute model on training circuits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `graphs` is empty or contains only empty graphs.
-    pub fn fit(graphs: &[CircuitGraph]) -> Self {
+    /// Returns [`Error::EmptyCorpus`] when `graphs` is empty or contains
+    /// only empty graphs.
+    pub fn fit(graphs: &[CircuitGraph]) -> Result<Self, Error> {
         let t = ALL_NODE_TYPES.len();
         let mut counts = vec![[0u64; 7]; t];
         let mut width_votes: Vec<[std::collections::HashMap<u32, u64>; 7]> =
@@ -58,7 +60,9 @@ impl AttrModel {
                 degree_hist.push(d as u32);
             }
         }
-        assert!(total_nodes > 0, "attribute model needs non-empty training data");
+        if total_nodes == 0 {
+            return Err(Error::EmptyCorpus);
+        }
         let widths = width_votes
             .into_iter()
             .map(|buckets| {
@@ -73,12 +77,12 @@ impl AttrModel {
                 row
             })
             .collect();
-        AttrModel {
+        Ok(AttrModel {
             counts,
             widths,
             mean_out_degree: total_edges as f64 / total_nodes as f64,
             out_degree_hist: degree_hist,
-        }
+        })
     }
 
     /// Mean out-degree of the corpus (noise-density prior).
@@ -201,7 +205,7 @@ mod tests {
 
     #[test]
     fn fit_and_sample_viable_sets() {
-        let model = AttrModel::fit(&toy_corpus());
+        let model = AttrModel::fit(&toy_corpus()).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for n in [6, 10, 40] {
             let attrs = model.sample_attrs(n, &mut rng);
@@ -218,7 +222,7 @@ mod tests {
     fn sampled_types_follow_corpus() {
         // corpus is add-heavy 8-bit; the model should sample widths of 8
         // dominantly.
-        let model = AttrModel::fit(&toy_corpus());
+        let model = AttrModel::fit(&toy_corpus()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let attrs = model.sample_attrs(200, &mut rng);
         let w8 = attrs.iter().filter(|a| a.width() == 8).count();
@@ -236,7 +240,7 @@ mod tests {
 
     #[test]
     fn degree_statistics() {
-        let model = AttrModel::fit(&toy_corpus());
+        let model = AttrModel::fit(&toy_corpus()).unwrap();
         assert!(model.mean_out_degree() > 0.0);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
@@ -255,8 +259,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn empty_corpus_rejected() {
-        let _ = AttrModel::fit(&[]);
+        assert_eq!(AttrModel::fit(&[]).unwrap_err(), Error::EmptyCorpus);
     }
 }

@@ -16,6 +16,7 @@
 //! the reference implementation used in tests.
 
 use crate::denoiser::{adjacency_operator, feature_matrix, Denoiser};
+use crate::error::Error;
 use crate::schedule::NoiseSchedule;
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -24,6 +25,10 @@ use syncircuit_graph::{CircuitGraph, Node, NodeType};
 use syncircuit_nn::{Adam, Matrix, ParamStore, Tape};
 
 /// Edge-decoding strategy during training and sampling.
+///
+/// Serializes as `"dense"` or `{"sparse": candidates_per_node}` (the
+/// vendored serde derive only covers unit-variant enums, so the impls
+/// live in [`crate::persist`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecodeMode {
     /// Score every ordered pair (reference; `O(N²)` per step).
@@ -37,7 +42,7 @@ pub enum DecodeMode {
 }
 
 /// Hyper-parameters of the diffusion model.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DiffusionConfig {
     /// Hidden width of the denoiser (paper: 256).
     pub hidden: usize,
@@ -164,23 +169,34 @@ impl EdgeProbs {
 }
 
 /// A trained diffusion model over circuit DCGs.
+///
+/// Persists through the versioned model artifact (see
+/// [`crate::persist`]): the parameter store and hyper-parameters are
+/// stored verbatim, and the denoiser architecture is rebuilt from the
+/// config on load.
 #[derive(Debug)]
 pub struct DiffusionModel {
-    store: ParamStore,
-    denoiser: Denoiser,
-    config: DiffusionConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) denoiser: Denoiser,
+    pub(crate) config: DiffusionConfig,
     /// Mean out-degree of the training corpus (noise-density prior).
-    mean_degree: f64,
+    pub(crate) mean_degree: f64,
 }
 
 impl DiffusionModel {
     /// Trains the denoiser on real circuits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `graphs` is empty.
-    pub fn train(graphs: &[CircuitGraph], config: DiffusionConfig, seed: u64) -> Self {
-        assert!(!graphs.is_empty(), "diffusion training needs graphs");
+    /// Returns [`Error::EmptyCorpus`] when `graphs` is empty.
+    pub fn train(
+        graphs: &[CircuitGraph],
+        config: DiffusionConfig,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        if graphs.is_empty() {
+            return Err(Error::EmptyCorpus);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let denoiser = Denoiser::new(
@@ -274,12 +290,17 @@ impl DiffusionModel {
             }
         }
 
-        DiffusionModel {
+        Ok(DiffusionModel {
             store,
             denoiser,
             config,
             mean_degree,
-        }
+        })
+    }
+
+    /// Configured hyper-parameters.
+    pub fn config(&self) -> &DiffusionConfig {
+        &self.config
     }
 
     /// Mean out-degree learned from the corpus.
@@ -491,7 +512,7 @@ mod tests {
     #[test]
     fn training_and_sampling_end_to_end() {
         let corpus = tiny_corpus(5, 3);
-        let model = DiffusionModel::train(&corpus, DiffusionConfig::tiny(), 42);
+        let model = DiffusionModel::train(&corpus, DiffusionConfig::tiny(), 42).unwrap();
         let attrs: Vec<Node> = corpus[0].iter().map(|(_, n)| *n).collect();
         let sampled = model.sample(&attrs, 7);
         assert_eq!(sampled.parents.len(), attrs.len());
@@ -508,7 +529,7 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let corpus = tiny_corpus(6, 2);
-        let model = DiffusionModel::train(&corpus, DiffusionConfig::tiny(), 1);
+        let model = DiffusionModel::train(&corpus, DiffusionConfig::tiny(), 1).unwrap();
         let attrs: Vec<Node> = corpus[0].iter().map(|(_, n)| *n).collect();
         let a = model.sample(&attrs, 9);
         let b = model.sample(&attrs, 9);
@@ -523,7 +544,7 @@ mod tests {
         let mut cfg = DiffusionConfig::tiny();
         cfg.decode = DecodeMode::Dense;
         cfg.epochs = 3;
-        let model = DiffusionModel::train(&corpus, cfg, 2);
+        let model = DiffusionModel::train(&corpus, cfg, 2).unwrap();
         let attrs: Vec<Node> = corpus[0].iter().map(|(_, n)| *n).collect();
         let sampled = model.sample(&attrs, 3);
         let n = attrs.len();

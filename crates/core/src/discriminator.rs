@@ -6,6 +6,7 @@
 //! post-synthesis circuit size. Training data comes from labeling cones
 //! with the exact synthesis simulator.
 
+use crate::error::Error;
 use crate::mcts::{ExactSynthReward, RewardModel};
 use rand::{rngs::StdRng, SeedableRng};
 use syncircuit_graph::algo::comb_depth;
@@ -38,24 +39,31 @@ pub fn cone_features(g: &CircuitGraph) -> Vec<f32> {
     f
 }
 
+/// Hidden-layer widths of the discriminator MLP (input and output
+/// dimensions are fixed by [`CONE_FEATURE_DIM`] and the scalar target).
+pub(crate) const MLP_WIDTHS: [usize; 4] = [CONE_FEATURE_DIM, 32, 16, 1];
+
 /// Learned PCS predictor usable as an MCTS [`RewardModel`].
+///
+/// Persists through the versioned model artifact (see
+/// [`crate::persist`]): parameters and the normalization scale are
+/// stored; the MLP architecture is rebuilt on load.
 #[derive(Debug)]
 pub struct PcsDiscriminator {
-    store: ParamStore,
-    mlp: Mlp,
+    pub(crate) store: ParamStore,
+    pub(crate) mlp: Mlp,
     /// Normalization scale for the PCS target.
-    scale: f32,
+    pub(crate) scale: f32,
 }
 
 impl PcsDiscriminator {
     /// Trains a discriminator on cones labeled with the exact synthesis
     /// simulator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cones` is empty.
-    pub fn train(cones: &[CircuitGraph], epochs: usize, seed: u64) -> Self {
-        assert!(!cones.is_empty(), "discriminator training needs cones");
+    /// Returns [`Error::EmptyTrainingSet`] when `cones` is empty.
+    pub fn train(cones: &[CircuitGraph], epochs: usize, seed: u64) -> Result<Self, Error> {
         let exact = ExactSynthReward::new();
         let labeled: Vec<(Vec<f32>, f32)> = cones
             .iter()
@@ -66,14 +74,20 @@ impl PcsDiscriminator {
 
     /// Trains from pre-labeled `(features, pcs)` pairs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `labeled` is empty.
-    pub fn train_on_labeled(labeled: &[(Vec<f32>, f32)], epochs: usize, seed: u64) -> Self {
-        assert!(!labeled.is_empty(), "discriminator training needs data");
+    /// Returns [`Error::EmptyTrainingSet`] when `labeled` is empty.
+    pub fn train_on_labeled(
+        labeled: &[(Vec<f32>, f32)],
+        epochs: usize,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        if labeled.is_empty() {
+            return Err(Error::EmptyTrainingSet);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, &[CONE_FEATURE_DIM, 32, 16, 1], &mut rng);
+        let mlp = Mlp::new(&mut store, &MLP_WIDTHS, &mut rng);
         let mut adam = Adam::with_lr(5e-3);
 
         let scale = labeled
@@ -95,7 +109,7 @@ impl PcsDiscriminator {
             let grads = tape.backward(loss);
             adam.step(&mut store, &grads);
         }
-        PcsDiscriminator { store, mlp, scale }
+        Ok(PcsDiscriminator { store, mlp, scale })
     }
 
     /// Mean relative error against exact PCS on a validation set.
@@ -161,7 +175,7 @@ mod tests {
     fn discriminator_learns_pcs_ordering() {
         let cones = cone_corpus(2, 8);
         assert!(cones.len() >= 8, "need a reasonable cone corpus");
-        let disc = PcsDiscriminator::train(&cones, 400, 3);
+        let disc = PcsDiscriminator::train(&cones, 400, 3).unwrap();
         // The discriminator must rank an all-alive cone above an
         // all-dead cone.
         let exact = ExactSynthReward::new();
@@ -191,7 +205,7 @@ mod tests {
     #[test]
     fn validation_error_is_bounded_after_training() {
         let cones = cone_corpus(4, 10);
-        let disc = PcsDiscriminator::train(&cones, 600, 5);
+        let disc = PcsDiscriminator::train(&cones, 600, 5).unwrap();
         let err = disc.validate(&cones);
         assert!(err < 0.8, "training-set relative error too high: {err}");
     }
@@ -199,7 +213,7 @@ mod tests {
     #[test]
     fn predictions_are_nonnegative() {
         let cones = cone_corpus(6, 3);
-        let disc = PcsDiscriminator::train(&cones, 50, 7);
+        let disc = PcsDiscriminator::train(&cones, 50, 7).unwrap();
         for c in &cones {
             assert!(disc.pcs(c) >= 0.0);
         }

@@ -113,7 +113,7 @@ impl RewardModel for IncrementalConeReward {
 }
 
 /// MCTS hyper-parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MctsConfig {
     /// Simulations per register cone (paper: 500).
     pub simulations: usize,

@@ -5,137 +5,38 @@
 //! ```
 //!
 //! [`SynCircuit::fit`] learns `P(G | V, X)` from real circuit graphs;
-//! [`SynCircuit::generate`] runs reverse diffusion (Phase 1),
-//! probability-guided validity refinement (Phase 2) and MCTS redundancy
-//! optimization (Phase 3), returning a brand-new synthetic circuit that
-//! satisfies every circuit constraint and synthesizes like a real design.
+//! generation is served through the unified request API:
+//!
+//! - [`SynCircuit::generate_one`] runs one [`GenRequest`] (reverse
+//!   diffusion → probability-guided validity refinement → MCTS
+//!   redundancy optimization, with per-request phase toggles);
+//! - [`SynCircuit::stream`] returns a lazy [`Generator`] iterator that
+//!   owns its RNG state and yields design after design;
+//! - [`SynCircuit::generate_batch`] fans independent requests out
+//!   across scoped worker threads — byte-identical to running them
+//!   sequentially, because the zero-clone Phase 3 engine shares no
+//!   mutable state between searches;
+//! - [`SynCircuit::save`] / [`SynCircuit::load`] persist the trained
+//!   model as a versioned JSON artifact so fit and generation can run
+//!   in separate processes (see [`crate::persist`]).
 
 use crate::attrs::AttrModel;
-use crate::diffusion::{DiffusionConfig, DiffusionModel};
+use crate::config::{PipelineConfig, RewardKind};
+use crate::diffusion::DiffusionModel;
 use crate::discriminator::PcsDiscriminator;
-use crate::mcts::{
-    optimize_registers, ConeSelection, ExactSynthReward, MctsConfig, MctsOutcome, RewardModel,
-};
-use crate::refine::{refine, refine_without_diffusion, RefineConfig, RefineError};
+use crate::error::{Error, RequestError};
+use crate::mcts::{optimize_registers, ExactSynthReward, MctsOutcome, RewardModel};
+use crate::refine::{refine, refine_without_diffusion};
+use crate::request::{GenRequest, Generator};
 use rand::{rngs::StdRng, SeedableRng};
-use std::error::Error;
-use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
 use syncircuit_graph::{CircuitGraph, Node};
 
-/// Reward oracle choice for Phase 3.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RewardKind {
-    /// Synthesize every candidate exactly (slow, reference).
-    Exact,
-    /// Dirty-cone incremental synthesis: design PCS decomposed into
-    /// memoized per-cone results, so each swap only re-synthesizes the
-    /// cones it touched (see [`IncrementalConeReward`]).
-    IncrementalCone,
-    /// Train a PCS discriminator on corpus cones and use it as the
-    /// reward (the paper's accelerated setting).
-    Discriminator {
-        /// Training epochs for the discriminator.
-        epochs: usize,
-    },
-}
-
-/// Pipeline configuration bundling the three phases.
-#[derive(Clone, Debug)]
-pub struct PipelineConfig {
-    /// Phase 1 (diffusion) hyper-parameters.
-    pub diffusion: DiffusionConfig,
-    /// Phase 2 (validity refinement) options.
-    pub refine: RefineConfig,
-    /// Phase 3 (MCTS) hyper-parameters.
-    pub mcts: MctsConfig,
-    /// Whether to run Phase 3 at all (`false` ⇒ return `G_val`, the
-    /// paper's "SynCircuit w/o opt" ablation).
-    pub optimize_redundancy: bool,
-    /// Which register cones Phase 3 optimizes.
-    pub cone_selection: ConeSelection,
-    /// Reward oracle for Phase 3.
-    pub reward: RewardKind,
-    /// Master seed (training and default generation).
-    pub seed: u64,
-}
-
-impl PipelineConfig {
-    /// Small, fast configuration for tests, doctests and examples.
-    pub fn tiny() -> Self {
-        PipelineConfig {
-            diffusion: DiffusionConfig::tiny(),
-            refine: RefineConfig::default(),
-            mcts: MctsConfig::tiny(),
-            optimize_redundancy: true,
-            cone_selection: ConeSelection::WorstK(4),
-            reward: RewardKind::Exact,
-            seed: 0,
-        }
-    }
-
-    /// Experiment-scale configuration: larger denoiser, more epochs,
-    /// discriminator-accelerated MCTS (the benches use this).
-    pub fn standard() -> Self {
-        PipelineConfig {
-            diffusion: DiffusionConfig {
-                hidden: 48,
-                layers: 3,
-                steps: 9,
-                epochs: 120,
-                lr: 5e-3,
-                neg_ratio: 2.0,
-                decode: crate::diffusion::DecodeMode::Sparse {
-                    candidates_per_node: 16,
-                },
-                grad_clip: 5.0,
-            },
-            refine: RefineConfig::default(),
-            mcts: MctsConfig {
-                simulations: 120,
-                max_depth: 8,
-                ..MctsConfig::default()
-            },
-            optimize_redundancy: true,
-            cone_selection: ConeSelection::All,
-            reward: RewardKind::Discriminator { epochs: 400 },
-            seed: 0,
-        }
-    }
-}
-
-/// Error from pipeline fitting or generation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum PipelineError {
-    /// Phase 2 could not satisfy the circuit constraints.
-    Refine(RefineError),
-    /// Training requires a non-empty corpus.
-    EmptyCorpus,
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Refine(e) => write!(f, "refinement failed: {e}"),
-            PipelineError::EmptyCorpus => write!(f, "training corpus is empty"),
-        }
-    }
-}
-
-impl Error for PipelineError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            PipelineError::Refine(e) => Some(e),
-            PipelineError::EmptyCorpus => None,
-        }
-    }
-}
-
-impl From<RefineError> for PipelineError {
-    fn from(e: RefineError) -> Self {
-        PipelineError::Refine(e)
-    }
-}
+/// Deprecated alias of the unified [`Error`] enum.
+#[deprecated(since = "0.2.0", note = "use `syncircuit_core::Error`")]
+pub type PipelineError = Error;
 
 /// One generated circuit with its intermediate artifacts.
 #[derive(Clone, Debug)]
@@ -145,19 +46,23 @@ pub struct Generated {
     pub graph: CircuitGraph,
     /// The Phase 2 output `G_val` (before redundancy optimization).
     pub gval: CircuitGraph,
-    /// Number of edges in the raw diffusion output `G_ini`.
+    /// Number of edges in the raw diffusion output `G_ini` (0 when
+    /// Phase 1 was disabled for the request).
     pub gini_edges: usize,
     /// Per-cone MCTS outcomes (empty when Phase 3 is disabled).
     pub mcts: Vec<MctsOutcome>,
+    /// The resolved seed this design was generated from (replaying a
+    /// request with this explicit seed reproduces the design exactly).
+    pub seed: u64,
 }
 
 /// A trained SynCircuit generator.
 #[derive(Debug)]
 pub struct SynCircuit {
-    diffusion: DiffusionModel,
-    attrs: AttrModel,
-    discriminator: Option<PcsDiscriminator>,
-    config: PipelineConfig,
+    pub(crate) diffusion: DiffusionModel,
+    pub(crate) attrs: AttrModel,
+    pub(crate) discriminator: Option<PcsDiscriminator>,
+    pub(crate) config: PipelineConfig,
 }
 
 impl SynCircuit {
@@ -166,13 +71,16 @@ impl SynCircuit {
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::EmptyCorpus`] when `graphs` is empty.
-    pub fn fit(graphs: &[CircuitGraph], config: PipelineConfig) -> Result<Self, PipelineError> {
+    /// Returns [`Error::Config`] when `config` fails validation (only
+    /// possible for configurations that bypassed the builder) and
+    /// [`Error::EmptyCorpus`] when `graphs` contains no nodes.
+    pub fn fit(graphs: &[CircuitGraph], config: PipelineConfig) -> Result<Self, Error> {
+        config.validate()?;
         if graphs.is_empty() {
-            return Err(PipelineError::EmptyCorpus);
+            return Err(Error::EmptyCorpus);
         }
-        let attrs = AttrModel::fit(graphs);
-        let diffusion = DiffusionModel::train(graphs, config.diffusion.clone(), config.seed);
+        let attrs = AttrModel::fit(graphs)?;
+        let diffusion = DiffusionModel::train(graphs, config.diffusion.clone(), config.seed)?;
 
         let discriminator = match config.reward {
             RewardKind::Exact | RewardKind::IncrementalCone => None,
@@ -205,7 +113,7 @@ impl SynCircuit {
                         samples.push(g);
                     }
                 }
-                Some(PcsDiscriminator::train(&samples, epochs, config.seed ^ 0xD15C))
+                Some(PcsDiscriminator::train(&samples, epochs, config.seed ^ 0xD15C)?)
             }
         };
 
@@ -227,52 +135,89 @@ impl SynCircuit {
         &self.diffusion
     }
 
-    /// Generates one synthetic circuit with `n` nodes, sampling
-    /// attributes from `P(X)`, using the configured master seed.
+    /// The validated configuration this model was trained with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Serves one generation request.
+    ///
+    /// Deterministic in the model and the request's resolved seed (an
+    /// unseeded request uses the configured master seed).
     ///
     /// # Errors
     ///
-    /// Propagates Phase 2 failures (degenerate attribute sets).
-    pub fn generate(&self, n: usize) -> Result<Generated, PipelineError> {
-        self.generate_seeded(n, self.config.seed)
+    /// Returns [`Error::Request`] for malformed requests and
+    /// [`Error::Refine`] when Phase 2 cannot satisfy the constraints
+    /// (degenerate attribute sets).
+    pub fn generate_one(&self, request: &GenRequest) -> Result<Generated, Error> {
+        let seed = request.seed().unwrap_or(self.config.seed);
+        self.generate_resolved(request, seed)
     }
 
-    /// Generates one synthetic circuit with an explicit seed (vary the
-    /// seed to build datasets).
-    pub fn generate_seeded(&self, n: usize, seed: u64) -> Result<Generated, PipelineError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let node_attrs = self.attrs.sample_attrs(n, &mut rng);
-        self.generate_with_attrs(&node_attrs, seed)
-    }
-
-    /// Generates conditioned on explicit node attributes (the paper's
-    /// user-specified `V, X` mode, used to mirror an evaluation design).
-    pub fn generate_with_attrs(
+    /// [`SynCircuit::generate_one`] with the seed already resolved —
+    /// the shared entry point for one-shot calls and [`Generator`]
+    /// streams (which substitute their own per-item seeds without
+    /// cloning the request).
+    pub(crate) fn generate_resolved(
         &self,
-        node_attrs: &[Node],
+        request: &GenRequest,
         seed: u64,
-    ) -> Result<Generated, PipelineError> {
-        // Phase 1: reverse diffusion.
-        let sampled = self.diffusion.sample(node_attrs, seed.wrapping_add(1));
-        let gini_edges = sampled.parents.iter().map(Vec::len).sum();
+    ) -> Result<Generated, Error> {
+        if matches!(request.attrs(), Some(a) if a.is_empty()) {
+            return Err(RequestError::EmptyAttrs.into());
+        }
+        let sampled_attrs;
+        let node_attrs: &[Node] = match request.attrs() {
+            Some(a) => a,
+            None => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                sampled_attrs = self.attrs.sample_attrs(request.node_count(), &mut rng);
+                &sampled_attrs
+            }
+        };
+        let optimize = request
+            .phases()
+            .optimize
+            .unwrap_or(self.config.optimize_redundancy);
+        if optimize && !self.config.optimize_redundancy {
+            // fit() only validated the Phase 3 parameters if the config
+            // enabled Phase 3; a per-request re-enable must not run MCTS
+            // on parameters the builder would have rejected.
+            self.config.validate_phase3()?;
+        }
 
-        // Phase 2: probability-guided validity refinement.
-        let mut gval = refine(
-            node_attrs,
-            &sampled,
-            &self.attrs,
-            &self.config.refine,
-            seed.wrapping_add(2),
-        )?;
-        gval.set_name(format!("syncircuit_{seed:x}"));
+        let (gval, gini_edges) = if request.phases().diffusion {
+            // Phase 1: reverse diffusion.
+            let sampled = self.diffusion.sample(node_attrs, seed.wrapping_add(1));
+            let gini_edges = sampled.parents.iter().map(Vec::len).sum();
+            // Phase 2: probability-guided validity refinement.
+            let mut gval = refine(
+                node_attrs,
+                &sampled,
+                &self.attrs,
+                &self.config.refine,
+                seed.wrapping_add(2),
+            )?;
+            gval.set_name(format!("syncircuit_{seed:x}"));
+            (gval, gini_edges)
+        } else {
+            // "w/o diff" ablation: random edge probabilities, same
+            // Phase 2 post-processing.
+            let mut g =
+                refine_without_diffusion(node_attrs, &self.attrs, &self.config.refine, seed)?;
+            g.set_name(format!("nodiff_{seed:x}"));
+            (g, 0)
+        };
 
         // Phase 3: MCTS redundancy optimization.
-        if !self.config.optimize_redundancy {
+        if !optimize {
             return Ok(Generated {
                 graph: gval.clone(),
                 gval,
                 gini_edges,
                 mcts: Vec::new(),
+                seed,
             });
         }
         let mut mcts_cfg = self.config.mcts.clone();
@@ -294,22 +239,122 @@ impl SynCircuit {
             gval,
             gini_edges,
             mcts: outcomes,
+            seed,
         })
+    }
+
+    /// Opens a lazy generation stream for `request`: an infinite
+    /// [`Iterator`] of designs whose first item equals
+    /// [`SynCircuit::generate_one`] for the same request and whose
+    /// subsequent items draw fresh seeds from the session RNG (owned by
+    /// the returned [`Generator`]). Fully deterministic in the request's
+    /// resolved seed.
+    pub fn stream(&self, request: GenRequest) -> Generator<'_> {
+        Generator::new(self, request)
+    }
+
+    /// Serves a batch of independent requests in parallel, fanning out
+    /// across `std::thread::scope` workers (one per available core, at
+    /// most one per request).
+    ///
+    /// Results come back in request order and are **byte-identical** to
+    /// calling [`SynCircuit::generate_one`] sequentially: per-request
+    /// seeds fix every random choice, and the Phase 3 zero-clone engine
+    /// shares no mutable state between searches (property-tested in
+    /// `tests/service_api.rs`).
+    pub fn generate_batch(&self, requests: &[GenRequest]) -> Vec<Result<Generated, Error>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.generate_batch_with(requests, workers)
+    }
+
+    /// [`SynCircuit::generate_batch`] with an explicit worker count
+    /// (clamped to `1..=requests.len()`).
+    pub fn generate_batch_with(
+        &self,
+        requests: &[GenRequest],
+        workers: usize,
+    ) -> Vec<Result<Generated, Error>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, requests.len());
+        if workers == 1 {
+            return requests.iter().map(|r| self.generate_one(r)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Generated, Error>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= requests.len() {
+                        break;
+                    }
+                    let out = self.generate_one(&requests[k]);
+                    *slots[k].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    /// Generates one synthetic circuit with `n` nodes, sampling
+    /// attributes from `P(X)`, using the configured master seed.
+    #[deprecated(since = "0.2.0", note = "use `generate_one(&GenRequest::nodes(n))`")]
+    pub fn generate(&self, n: usize) -> Result<Generated, Error> {
+        self.generate_one(&GenRequest::nodes(n))
+    }
+
+    /// Generates one synthetic circuit with an explicit seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `generate_one(&GenRequest::nodes(n).seeded(seed))`"
+    )]
+    pub fn generate_seeded(&self, n: usize, seed: u64) -> Result<Generated, Error> {
+        self.generate_one(&GenRequest::nodes(n).seeded(seed))
+    }
+
+    /// Generates conditioned on explicit node attributes.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `generate_one(&GenRequest::with_attrs(attrs).seeded(seed))`"
+    )]
+    pub fn generate_with_attrs(
+        &self,
+        node_attrs: &[Node],
+        seed: u64,
+    ) -> Result<Generated, Error> {
+        self.generate_one(&GenRequest::with_attrs(node_attrs.to_vec()).seeded(seed))
     }
 
     /// The "SynCircuit w/o diff" ablation: random edge probabilities with
     /// the same Phase 2 post-processing (Table II row).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `generate_one(&GenRequest::nodes(n).seeded(seed).without_diffusion().optimize(false))`"
+    )]
     pub fn generate_without_diffusion(
         &self,
         n: usize,
         seed: u64,
-    ) -> Result<CircuitGraph, PipelineError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let node_attrs = self.attrs.sample_attrs(n, &mut rng);
-        let mut g =
-            refine_without_diffusion(&node_attrs, &self.attrs, &self.config.refine, seed)?;
-        g.set_name(format!("nodiff_{seed:x}"));
-        Ok(g)
+    ) -> Result<CircuitGraph, Error> {
+        self.generate_one(
+            &GenRequest::nodes(n)
+                .seeded(seed)
+                .without_diffusion()
+                .optimize(false),
+        )
+        .map(|g| g.graph)
     }
 }
 
@@ -329,10 +374,11 @@ mod tests {
     #[test]
     fn fit_generate_end_to_end() {
         let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
-        let out = model.generate(40).unwrap();
+        let out = model.generate_one(&GenRequest::nodes(40)).unwrap();
         assert!(out.graph.is_valid(), "{:?}", out.graph.validate());
         assert!(out.gval.is_valid());
         assert_eq!(out.graph.node_count(), 40);
+        assert_eq!(out.seed, model.config().seed());
         // Phase 3 preserves degree sequences.
         assert_eq!(out.graph.in_degrees(), out.gval.in_degrees());
         assert_eq!(out.graph.out_degrees(), out.gval.out_degrees());
@@ -342,7 +388,9 @@ mod tests {
     fn optimization_never_hurts_scpr_materially() {
         let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
         for seed in 0..3u64 {
-            let out = model.generate_seeded(30, seed).unwrap();
+            let out = model
+                .generate_one(&GenRequest::nodes(30).seeded(seed))
+                .unwrap();
             let before = scpr(&optimize(&out.gval));
             let after = scpr(&optimize(&out.graph));
             assert!(
@@ -355,45 +403,116 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
-        let a = model.generate_seeded(25, 5).unwrap();
-        let b = model.generate_seeded(25, 5).unwrap();
+        let req = GenRequest::nodes(25).seeded(5);
+        let a = model.generate_one(&req).unwrap();
+        let b = model.generate_one(&req).unwrap();
         assert_eq!(a.graph, b.graph);
-        let c = model.generate_seeded(25, 6).unwrap();
+        let c = model
+            .generate_one(&GenRequest::nodes(25).seeded(6))
+            .unwrap();
         assert_ne!(a.graph, c.graph);
     }
 
     #[test]
     fn without_diffusion_ablation() {
         let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
-        let g = model.generate_without_diffusion(30, 9).unwrap();
-        assert!(g.is_valid());
-        assert_eq!(g.node_count(), 30);
+        let out = model
+            .generate_one(
+                &GenRequest::nodes(30)
+                    .seeded(9)
+                    .without_diffusion()
+                    .optimize(false),
+            )
+            .unwrap();
+        assert!(out.graph.is_valid());
+        assert_eq!(out.graph.node_count(), 30);
+        assert_eq!(out.gini_edges, 0, "Phase 1 was skipped");
+        assert!(out.graph.name().starts_with("nodiff_"));
     }
 
     #[test]
     fn without_optimization_returns_gval() {
-        let mut cfg = PipelineConfig::tiny();
-        cfg.optimize_redundancy = false;
-        let model = SynCircuit::fit(&corpus(), cfg).unwrap();
-        let out = model.generate_seeded(30, 2).unwrap();
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let out = model
+            .generate_one(&GenRequest::nodes(30).seeded(2).optimize(false))
+            .unwrap();
         assert_eq!(out.graph, out.gval);
         assert!(out.mcts.is_empty());
+    }
+
+    #[test]
+    fn config_toggle_disables_phase3_by_default() {
+        let cfg = PipelineConfig::builder()
+            .optimize_redundancy(false)
+            .build()
+            .unwrap();
+        let model = SynCircuit::fit(&corpus(), cfg).unwrap();
+        let out = model
+            .generate_one(&GenRequest::nodes(30).seeded(2))
+            .unwrap();
+        assert_eq!(out.graph, out.gval);
+        assert!(out.mcts.is_empty());
+        // ... and a per-request override turns it back on.
+        let on = model
+            .generate_one(&GenRequest::nodes(30).seeded(2).optimize(true))
+            .unwrap();
+        assert!(!on.mcts.is_empty());
+    }
+
+    #[test]
+    fn request_override_revalidates_phase3_parameters() {
+        // A config with Phase 3 off may legally carry degenerate MCTS
+        // parameters (the builder waives those checks) — but a request
+        // that re-enables Phase 3 must hit the typed rejection instead
+        // of silently running a zero-simulation search.
+        let mut m = crate::MctsConfig::tiny();
+        m.simulations = 0;
+        let cfg = PipelineConfig::builder()
+            .mcts(m)
+            .optimize_redundancy(false)
+            .build()
+            .unwrap();
+        let model = SynCircuit::fit(&corpus(), cfg).unwrap();
+        // inherited toggle: fine, Phase 3 never runs
+        assert!(model.generate_one(&GenRequest::nodes(25).seeded(1)).is_ok());
+        // per-request re-enable: typed ConfigError
+        assert_eq!(
+            model
+                .generate_one(&GenRequest::nodes(25).seeded(1).optimize(true))
+                .unwrap_err(),
+            Error::Config(crate::ConfigError::ZeroSimulations)
+        );
     }
 
     #[test]
     fn empty_corpus_is_an_error() {
         assert_eq!(
             SynCircuit::fit(&[], PipelineConfig::tiny()).unwrap_err(),
-            PipelineError::EmptyCorpus
+            Error::EmptyCorpus
+        );
+    }
+
+    #[test]
+    fn empty_attrs_request_is_an_error() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        assert_eq!(
+            model
+                .generate_one(&GenRequest::with_attrs(Vec::new()))
+                .unwrap_err(),
+            Error::Request(RequestError::EmptyAttrs)
         );
     }
 
     #[test]
     fn discriminator_reward_path_works() {
-        let mut cfg = PipelineConfig::tiny();
-        cfg.reward = RewardKind::Discriminator { epochs: 60 };
+        let cfg = PipelineConfig::builder()
+            .reward(RewardKind::Discriminator { epochs: 60 })
+            .build()
+            .unwrap();
         let model = SynCircuit::fit(&corpus(), cfg).unwrap();
-        let out = model.generate_seeded(25, 1).unwrap();
+        let out = model
+            .generate_one(&GenRequest::nodes(25).seeded(1))
+            .unwrap();
         assert!(out.graph.is_valid());
     }
 
@@ -401,7 +520,9 @@ mod tests {
     fn generated_graphs_are_emittable() {
         let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
         for seed in 0..3 {
-            let out = model.generate_seeded(30, seed).unwrap();
+            let out = model
+                .generate_one(&GenRequest::nodes(30).seeded(seed))
+                .unwrap();
             // All bit-selects in range (refinement legalizes; MCTS swap
             // guards preserve it).
             for (id, node) in out.graph.iter() {
@@ -410,6 +531,52 @@ mod tests {
                     assert!(node.aux() as u32 + node.width() <= pw, "seed {seed}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn stream_first_item_matches_one_shot() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let req = GenRequest::nodes(25).seeded(3);
+        let one = model.generate_one(&req).unwrap();
+        let mut stream = model.stream(req);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(one.graph, first.graph);
+        assert_eq!(one.seed, first.seed);
+        // subsequent items vary the seed deterministically
+        let second = stream.next().unwrap().unwrap();
+        assert_ne!(second.seed, first.seed);
+        assert_eq!(stream.produced(), 2);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let seeds_a: Vec<u64> = model
+            .stream(GenRequest::nodes(20).seeded(8))
+            .take(3)
+            .map(|r| r.unwrap().seed)
+            .collect();
+        let seeds_b: Vec<u64> = model
+            .stream(GenRequest::nodes(20).seeded(8))
+            .take(3)
+            .map(|r| r.unwrap().seed)
+            .collect();
+        assert_eq!(seeds_a, seeds_b);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let model = SynCircuit::fit(&corpus(), PipelineConfig::tiny()).unwrap();
+        let requests: Vec<GenRequest> = (0..5u64)
+            .map(|s| GenRequest::nodes(20 + s as usize).seeded(s))
+            .collect();
+        let batch = model.generate_batch_with(&requests, 4);
+        assert_eq!(batch.len(), requests.len());
+        for (k, item) in batch.iter().enumerate() {
+            let g = item.as_ref().unwrap();
+            assert_eq!(g.seed, k as u64);
+            assert_eq!(g.graph.node_count(), 20 + k);
         }
     }
 }

@@ -26,7 +26,7 @@ use syncircuit_graph::comb::edge_would_close_comb_loop;
 use syncircuit_graph::{CircuitGraph, Node, NodeId, NodeType};
 
 /// Phase 2 configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RefineConfig {
     /// Enable out-degree budget guidance.
     pub degree_guidance: bool,
@@ -274,7 +274,7 @@ mod tests {
         let corpus: Vec<CircuitGraph> = (0..3)
             .map(|_| random_circuit_with_size(&mut rng, 40))
             .collect();
-        AttrModel::fit(&corpus)
+        AttrModel::fit(&corpus).expect("corpus is non-empty")
     }
 
     fn random_sampled(n: usize, seed: u64) -> SampledGraph {

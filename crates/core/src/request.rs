@@ -1,0 +1,204 @@
+//! The unified generation request and the streaming generator session.
+//!
+//! [`GenRequest`] subsumes every legacy `generate*` call shape — node
+//! count, explicit seed, explicit node attributes, and per-request
+//! phase toggles — behind one value that can be run once
+//! ([`crate::SynCircuit::generate_one`]), streamed lazily
+//! ([`crate::SynCircuit::stream`] → [`Generator`]), or fanned out in
+//! parallel ([`crate::SynCircuit::generate_batch`]).
+//!
+//! | legacy call | request |
+//! | --- | --- |
+//! | `generate(n)` | `GenRequest::nodes(n)` |
+//! | `generate_seeded(n, s)` | `GenRequest::nodes(n).seeded(s)` |
+//! | `generate_with_attrs(attrs, s)` | `GenRequest::with_attrs(attrs).seeded(s)` |
+//! | `generate_without_diffusion(n, s)` | `GenRequest::nodes(n).seeded(s).without_diffusion().optimize(false)` |
+
+use crate::error::Error;
+use crate::pipeline::{Generated, SynCircuit};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use syncircuit_graph::Node;
+
+/// Per-request phase toggles (Phase 2, validity refinement, always
+/// runs — it is what makes the output a circuit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseToggles {
+    /// Run Phase 1 (reverse diffusion). `false` ⇒ random edge
+    /// probabilities with the same Phase 2 post-processing (the paper's
+    /// "SynCircuit w/o diff" ablation).
+    pub diffusion: bool,
+    /// Run Phase 3 (MCTS redundancy optimization). `None` ⇒ inherit the
+    /// trained configuration's `optimize_redundancy` toggle.
+    pub optimize: Option<bool>,
+}
+
+impl Default for PhaseToggles {
+    fn default() -> Self {
+        PhaseToggles {
+            diffusion: true,
+            optimize: None,
+        }
+    }
+}
+
+/// One generation request: node count, optional seed, optional explicit
+/// node attributes, and phase toggles.
+///
+/// Build with [`GenRequest::nodes`] or [`GenRequest::with_attrs`] and
+/// chain the modifiers; see the module docs for the legacy-call mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenRequest {
+    nodes: usize,
+    seed: Option<u64>,
+    attrs: Option<Vec<Node>>,
+    phases: PhaseToggles,
+}
+
+impl GenRequest {
+    /// Request for a circuit with `n` nodes, attributes sampled from the
+    /// learned `P(X)` (values below 6 are clamped up by the attribute
+    /// sampler so the structural minima — input, constant, register,
+    /// output — always fit).
+    pub fn nodes(n: usize) -> Self {
+        GenRequest {
+            nodes: n,
+            seed: None,
+            attrs: None,
+            phases: PhaseToggles::default(),
+        }
+    }
+
+    /// Request conditioned on explicit node attributes (the paper's
+    /// user-specified `V, X` mode, used to mirror an evaluation design).
+    pub fn with_attrs(attrs: Vec<Node>) -> Self {
+        GenRequest {
+            nodes: attrs.len(),
+            seed: None,
+            attrs: Some(attrs),
+            phases: PhaseToggles::default(),
+        }
+    }
+
+    /// Uses an explicit seed instead of the model's master seed (vary
+    /// the seed to build datasets).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Disables Phase 1: random edge probabilities with the same Phase 2
+    /// post-processing (the "w/o diff" ablation row of Table II).
+    pub fn without_diffusion(mut self) -> Self {
+        self.phases.diffusion = false;
+        self
+    }
+
+    /// Overrides the configured Phase 3 toggle for this request.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.phases.optimize = Some(on);
+        self
+    }
+
+    /// Requested node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Explicit seed, if any (`None` ⇒ the model's master seed).
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Explicit node attributes, if any.
+    pub fn attrs(&self) -> Option<&[Node]> {
+        self.attrs.as_deref()
+    }
+
+    /// Phase toggles of this request.
+    pub fn phases(&self) -> PhaseToggles {
+        self.phases
+    }
+}
+
+/// A lazy, infinite stream of generated designs from one trained model.
+///
+/// Created by [`crate::SynCircuit::stream`]. The generator owns the RNG
+/// state that derives per-design seeds: the first item uses the
+/// request's resolved seed (so it equals the one-shot
+/// [`crate::SynCircuit::generate_one`] result for the same request),
+/// and every further item draws a fresh seed from the session RNG —
+/// fully deterministic in the base seed. Use [`Iterator::take`] to
+/// bound the stream.
+#[derive(Debug)]
+pub struct Generator<'m> {
+    model: &'m SynCircuit,
+    request: GenRequest,
+    base_seed: u64,
+    rng: StdRng,
+    produced: u64,
+}
+
+/// Domain-separation salt for the per-item seed stream.
+const STREAM_SALT: u64 = 0x5EED_57EA;
+
+impl<'m> Generator<'m> {
+    pub(crate) fn new(model: &'m SynCircuit, request: GenRequest) -> Self {
+        let base_seed = request.seed().unwrap_or(model.config().seed());
+        Generator {
+            model,
+            request,
+            base_seed,
+            rng: StdRng::seed_from_u64(base_seed ^ STREAM_SALT),
+            produced: 0,
+        }
+    }
+
+    /// The request this session streams.
+    pub fn request(&self) -> &GenRequest {
+        &self.request
+    }
+
+    /// Number of designs produced so far (successful or not).
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Iterator for Generator<'_> {
+    type Item = Result<Generated, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let seed = if self.produced == 0 {
+            self.base_seed
+        } else {
+            self.rng.gen::<u64>()
+        };
+        self.produced += 1;
+        Some(self.model.generate_resolved(&self.request, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncircuit_graph::NodeType;
+
+    #[test]
+    fn request_builders_compose() {
+        let r = GenRequest::nodes(40).seeded(9).without_diffusion().optimize(true);
+        assert_eq!(r.node_count(), 40);
+        assert_eq!(r.seed(), Some(9));
+        assert!(!r.phases().diffusion);
+        assert_eq!(r.phases().optimize, Some(true));
+        assert!(r.attrs().is_none());
+    }
+
+    #[test]
+    fn attrs_request_takes_count_from_attrs() {
+        let attrs = vec![Node::new(NodeType::Input, 8), Node::new(NodeType::Output, 8)];
+        let r = GenRequest::with_attrs(attrs);
+        assert_eq!(r.node_count(), 2);
+        assert_eq!(r.attrs().unwrap().len(), 2);
+        assert_eq!(r.phases(), PhaseToggles::default());
+    }
+}

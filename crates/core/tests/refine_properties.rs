@@ -13,7 +13,7 @@ fn attr_model() -> AttrModel {
     let corpus: Vec<CircuitGraph> = (0..3)
         .map(|_| random_circuit_with_size(&mut rng, 40))
         .collect();
-    AttrModel::fit(&corpus)
+    AttrModel::fit(&corpus).expect("corpus is non-empty")
 }
 
 /// Arbitrary "diffusion output": random parents and random scored pairs.

@@ -1,0 +1,230 @@
+//! Acceptance tests for the service-ready generation API:
+//!
+//! 1. every legacy `generate*` call shape is expressible as a
+//!    [`GenRequest`] with **identical** output (the deprecated shims are
+//!    exercised here, and only here);
+//! 2. [`SynCircuit::generate_batch`] across ≥ 4 worker threads is
+//!    property-tested byte-identical to sequential per-seed runs;
+//! 3. save → load → [`SynCircuit::stream`] reproduces a byte-identical
+//!    generation stream from the restored model under the same seeds.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::OnceLock;
+use syncircuit_core::{
+    GenRequest, Generated, PipelineConfig, RewardKind, SynCircuit,
+};
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_graph::CircuitGraph;
+
+fn corpus() -> Vec<CircuitGraph> {
+    let mut rng = StdRng::seed_from_u64(777);
+    (0..3)
+        .map(|_| random_circuit_with_size(&mut rng, 28))
+        .collect()
+}
+
+/// One trained model shared by every test in this file (training is the
+/// expensive part; the API surface under test is read-only).
+fn model() -> &'static SynCircuit {
+    static MODEL: OnceLock<SynCircuit> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let cfg = PipelineConfig::builder()
+            .seed(11)
+            .build()
+            .expect("valid configuration");
+        SynCircuit::fit(&corpus(), cfg).expect("corpus is non-empty")
+    })
+}
+
+/// The same model after one JSON artifact round-trip.
+fn restored() -> &'static SynCircuit {
+    static RESTORED: OnceLock<SynCircuit> = OnceLock::new();
+    RESTORED.get_or_init(|| {
+        SynCircuit::from_json(&model().to_json()).expect("artifact round-trips")
+    })
+}
+
+/// Byte-level equality of two generation results: slot-exact graphs,
+/// bit-identical rewards, identical evaluation counts and seeds.
+fn assert_generated_identical(a: &Generated, b: &Generated) {
+    assert_eq!(a.graph, b.graph, "final graphs must be identical");
+    assert_eq!(a.gval, b.gval, "G_val must be identical");
+    assert_eq!(a.gini_edges, b.gini_edges, "G_ini edge counts must match");
+    assert_eq!(a.seed, b.seed, "resolved seeds must match");
+    assert_eq!(a.mcts.len(), b.mcts.len(), "per-cone outcome counts");
+    for (x, y) in a.mcts.iter().zip(&b.mcts) {
+        assert_eq!(x.best_reward.to_bits(), y.best_reward.to_bits());
+        assert_eq!(x.initial_reward.to_bits(), y.initial_reward.to_bits());
+        assert_eq!(x.evaluations, y.evaluations);
+        assert_eq!(x.best, y.best);
+    }
+}
+
+// --- 1. legacy call shapes ⊂ GenRequest -------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn legacy_generate_equals_request() {
+    let m = model();
+    let legacy = m.generate(30).unwrap();
+    let unified = m.generate_one(&GenRequest::nodes(30)).unwrap();
+    assert_generated_identical(&legacy, &unified);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_generate_seeded_equals_request() {
+    let m = model();
+    for seed in [0u64, 5, 0xDEAD_BEEF] {
+        let legacy = m.generate_seeded(26, seed).unwrap();
+        let unified = m
+            .generate_one(&GenRequest::nodes(26).seeded(seed))
+            .unwrap();
+        assert_generated_identical(&legacy, &unified);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_generate_with_attrs_equals_request() {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(42);
+    let attrs = m.attr_model().sample_attrs(24, &mut rng);
+    let legacy = m.generate_with_attrs(&attrs, 9).unwrap();
+    let unified = m
+        .generate_one(&GenRequest::with_attrs(attrs).seeded(9))
+        .unwrap();
+    assert_generated_identical(&legacy, &unified);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_generate_without_diffusion_equals_request() {
+    let m = model();
+    for seed in [1u64, 17] {
+        let legacy = m.generate_without_diffusion(22, seed).unwrap();
+        let unified = m
+            .generate_one(
+                &GenRequest::nodes(22)
+                    .seeded(seed)
+                    .without_diffusion()
+                    .optimize(false),
+            )
+            .unwrap();
+        assert_eq!(legacy, unified.graph, "ablation graphs must be identical");
+        assert_eq!(unified.gval, unified.graph);
+        assert!(unified.mcts.is_empty());
+    }
+}
+
+// --- 2. parallel batch ≡ sequential -----------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn batch_across_four_threads_matches_sequential(base in any::<u64>()) {
+        let m = model();
+        // Mixed request shapes: plain, ablation, no-opt — sizes and
+        // seeds derived from the property input.
+        let requests: Vec<GenRequest> = (0..6u64)
+            .map(|k| {
+                let req = GenRequest::nodes(18 + (base.wrapping_add(k) % 9) as usize)
+                    .seeded(base.wrapping_mul(31).wrapping_add(k));
+                match k % 3 {
+                    0 => req,
+                    1 => req.optimize(false),
+                    _ => req.without_diffusion().optimize(false),
+                }
+            })
+            .collect();
+        let sequential: Vec<_> = requests.iter().map(|r| m.generate_one(r)).collect();
+        let parallel = m.generate_batch_with(&requests, 4);
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            match (s, p) {
+                (Ok(a), Ok(b)) => assert_generated_identical(a, b),
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                _ => prop_assert!(false, "sequential/parallel disagree on success"),
+            }
+        }
+    }
+
+    // --- 3. persistence: save → load → identical stream ----------------
+
+    #[test]
+    fn restored_model_streams_identically(seed in any::<u64>(), n in 18usize..30) {
+        let request = GenRequest::nodes(n).seeded(seed);
+        let original: Vec<_> = model().stream(request.clone()).take(3).collect();
+        let replayed: Vec<_> = restored().stream(request).take(3).collect();
+        prop_assert_eq!(original.len(), replayed.len());
+        for (a, b) in original.iter().zip(&replayed) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_generated_identical(a, b);
+        }
+    }
+}
+
+// --- persistence details ----------------------------------------------
+
+#[test]
+fn artifact_text_is_stable_and_versioned() {
+    let text = model().to_json();
+    assert!(text.contains("syncircuit-model"));
+    // Rendering is deterministic, and a second round-trip is a fixpoint.
+    assert_eq!(text, model().to_json());
+    assert_eq!(restored().to_json(), text);
+}
+
+#[test]
+fn restored_config_matches_original() {
+    assert_eq!(restored().config().seed(), model().config().seed());
+    assert_eq!(
+        restored().config().reward(),
+        model().config().reward()
+    );
+    assert_eq!(
+        restored().config().optimize_redundancy(),
+        model().config().optimize_redundancy()
+    );
+}
+
+#[test]
+fn save_and_load_through_the_filesystem() {
+    let path = std::env::temp_dir().join("syncircuit_service_api_model.json");
+    model().save(&path).unwrap();
+    let loaded = SynCircuit::load(&path).unwrap();
+    let a = model().generate_one(&GenRequest::nodes(20).seeded(4)).unwrap();
+    let b = loaded.generate_one(&GenRequest::nodes(20).seeded(4)).unwrap();
+    assert_generated_identical(&a, &b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn discriminator_model_roundtrips_too() {
+    // A model with a trained discriminator persists it and keeps
+    // generating identically.
+    let cfg = PipelineConfig::builder()
+        .seed(3)
+        .reward(RewardKind::Discriminator { epochs: 40 })
+        .build()
+        .unwrap();
+    let m = SynCircuit::fit(&corpus(), cfg).unwrap();
+    let restored = SynCircuit::from_json(&m.to_json()).unwrap();
+    let a = m.generate_one(&GenRequest::nodes(22).seeded(6)).unwrap();
+    let b = restored
+        .generate_one(&GenRequest::nodes(22).seeded(6))
+        .unwrap();
+    assert_generated_identical(&a, &b);
+}
+
+#[test]
+fn batch_on_empty_and_single_inputs() {
+    let m = model();
+    assert!(m.generate_batch(&[]).is_empty());
+    let one = m.generate_batch_with(&[GenRequest::nodes(20).seeded(1)], 8);
+    assert_eq!(one.len(), 1);
+    let direct = m.generate_one(&GenRequest::nodes(20).seeded(1)).unwrap();
+    assert_generated_identical(one[0].as_ref().unwrap(), &direct);
+}

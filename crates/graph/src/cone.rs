@@ -30,6 +30,79 @@ impl DrivingCone {
     }
 }
 
+/// Reusable scratch buffers for repeated fan-in cone extractions.
+///
+/// The visited set is tag-stamped (bumping an epoch counter instead of
+/// clearing), and the BFS queue plus member/boundary lists are reused
+/// across calls, so a warm [`fanin_cone_into`] performs no allocations.
+#[derive(Clone, Debug, Default)]
+pub struct ConeScratch {
+    seen: Vec<u32>,
+    tag: u32,
+    queue: Vec<NodeId>,
+    members: Vec<NodeId>,
+    boundary: Vec<NodeId>,
+}
+
+impl ConeScratch {
+    /// Empty scratch (buffers grow to the host-graph size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Extracts the fan-in cone of `apex` into `scratch`, generalizing
+/// register driving cones (§VI-A) over the apex type: reverse BFS
+/// through parents from any apex node — register, output, or plain
+/// combinational — stopping at (but recording) `const` / `in` / `reg`
+/// boundary nodes.
+///
+/// Returns `(members, boundary)` slices borrowed from the scratch, in
+/// discovery (reverse-BFS) order — identical to the order
+/// [`driving_cone`] records. Allocation-free once the scratch is warm.
+pub fn fanin_cone_into<'s>(
+    g: &CircuitGraph,
+    apex: NodeId,
+    scratch: &'s mut ConeScratch,
+) -> (&'s [NodeId], &'s [NodeId]) {
+    let n = g.node_count();
+    if scratch.seen.len() < n {
+        scratch.seen.resize(n, 0);
+    }
+    scratch.tag = scratch.tag.wrapping_add(1);
+    if scratch.tag == 0 {
+        scratch.seen.fill(0);
+        scratch.tag = 1;
+    }
+    let tag = scratch.tag;
+    scratch.members.clear();
+    scratch.boundary.clear();
+    scratch.queue.clear();
+    scratch.seen[apex.index()] = tag;
+    scratch.queue.extend_from_slice(g.parents(apex));
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        if scratch.seen[u.index()] == tag {
+            continue;
+        }
+        scratch.seen[u.index()] = tag;
+        let ty = g.ty(u);
+        if matches!(ty, NodeType::Const | NodeType::Input | NodeType::Reg) {
+            scratch.boundary.push(u);
+        } else {
+            scratch.members.push(u);
+            for &p in g.parents(u) {
+                if scratch.seen[p.index()] != tag {
+                    scratch.queue.push(p);
+                }
+            }
+        }
+    }
+    (&scratch.members, &scratch.boundary)
+}
+
 /// Extracts the driving cone for `register` by reverse BFS through
 /// parents, stopping at (but recording) `const` / `in` / other `reg`
 /// nodes.
@@ -43,35 +116,12 @@ pub fn driving_cone(g: &CircuitGraph, register: NodeId) -> DrivingCone {
         "driving_cone requires a register node, got {}",
         g.ty(register)
     );
-    let mut members = Vec::new();
-    let mut boundary = Vec::new();
-    let mut seen = vec![false; g.node_count()];
-    seen[register.index()] = true;
-    let mut queue: Vec<NodeId> = g.parents(register).to_vec();
-    let mut head = 0;
-    while head < queue.len() {
-        let u = queue[head];
-        head += 1;
-        if seen[u.index()] {
-            continue;
-        }
-        seen[u.index()] = true;
-        let ty = g.ty(u);
-        if matches!(ty, NodeType::Const | NodeType::Input | NodeType::Reg) {
-            boundary.push(u);
-        } else {
-            members.push(u);
-            for &p in g.parents(u) {
-                if !seen[p.index()] {
-                    queue.push(p);
-                }
-            }
-        }
-    }
+    let mut scratch = ConeScratch::new();
+    let (members, boundary) = fanin_cone_into(g, register, &mut scratch);
     DrivingCone {
         register,
-        members,
-        boundary,
+        members: members.to_vec(),
+        boundary: boundary.to_vec(),
     }
 }
 
@@ -95,10 +145,30 @@ pub struct ConeCircuit {
 /// register survives (so the sub-circuit has exactly one sequential
 /// element) and drives a fresh [`NodeType::Output`].
 pub fn cone_circuit(g: &CircuitGraph, cone: &DrivingCone) -> ConeCircuit {
-    let mut out = CircuitGraph::new(format!("{}_cone_{}", g.name(), cone.register));
+    cone_circuit_parts(g, cone.register, &cone.members, &cone.boundary)
+}
+
+/// Builds a standalone synthesizable circuit from cone parts — the one
+/// implementation behind both register driving cones and output sink
+/// cones (see [`fanin_cone_into`] for extraction).
+///
+/// Boundary `in`/`reg` nodes become fresh [`NodeType::Input`] nodes of
+/// the same width; boundary constants keep their value. A sink apex
+/// (e.g. [`NodeType::Output`]) is already an observation port and is
+/// kept as-is; any other apex (registers, combinational nodes) survives
+/// and drives a fresh [`NodeType::Output`] port.
+pub fn cone_circuit_parts(
+    g: &CircuitGraph,
+    apex: NodeId,
+    members: &[NodeId],
+    boundary: &[NodeId],
+) -> ConeCircuit {
+    let apex_node = g.node(apex);
+    let kind = if apex_node.ty().is_sink() { "sink" } else { "cone" };
+    let mut out = CircuitGraph::new(format!("{}_{kind}_{apex}", g.name()));
     let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
 
-    for &b in &cone.boundary {
+    for &b in boundary {
         let node = g.node(b);
         let new = match node.ty() {
             NodeType::Const => out.add_const(node.width(), node.aux()),
@@ -108,16 +178,15 @@ pub fn cone_circuit(g: &CircuitGraph, cone: &DrivingCone) -> ConeCircuit {
     }
     // Members in reverse-discovery order is not topological; create nodes
     // first, wire after.
-    for &m in &cone.members {
+    for &m in members {
         let node = g.node(m);
         let new = out.push_node(*node);
         mapping.insert(m, new);
     }
-    let apex_node = g.node(cone.register);
-    let apex = out.push_node(*apex_node);
-    mapping.insert(cone.register, apex);
+    let new_apex = out.push_node(*apex_node);
+    mapping.insert(apex, new_apex);
 
-    for &m in cone.members.iter().chain(std::iter::once(&cone.register)) {
+    for &m in members.iter().chain(std::iter::once(&apex)) {
         let new_id = mapping[&m];
         let new_parents: Vec<NodeId> = g
             .parents(m)
@@ -131,8 +200,10 @@ pub fn cone_circuit(g: &CircuitGraph, cone: &DrivingCone) -> ConeCircuit {
         out.set_parents_unchecked(new_id, &new_parents);
     }
 
-    let port = out.add_node(NodeType::Output, apex_node.width());
-    out.set_parents_unchecked(port, &[apex]);
+    if !apex_node.ty().is_sink() {
+        let port = out.add_node(NodeType::Output, apex_node.width());
+        out.set_parents_unchecked(port, &[new_apex]);
+    }
 
     ConeCircuit {
         circuit: out,
@@ -241,5 +312,45 @@ mod tests {
     fn cone_of_non_register_panics() {
         let (g, _, _) = two_regs();
         driving_cone(&g, NodeId::new(0));
+    }
+
+    #[test]
+    fn fanin_cone_matches_driving_cone_and_reuses_scratch() {
+        let (g, ra, rb) = two_regs();
+        let mut scratch = ConeScratch::new();
+        for reg in [ra, rb, ra] {
+            let reference = driving_cone(&g, reg);
+            let (members, boundary) = fanin_cone_into(&g, reg, &mut scratch);
+            assert_eq!(members, reference.members.as_slice(), "members for {reg}");
+            assert_eq!(boundary, reference.boundary.as_slice(), "boundary for {reg}");
+        }
+    }
+
+    #[test]
+    fn fanin_cone_generalizes_over_sink_apex() {
+        let (g, _, rb) = two_regs();
+        let out = g.nodes_of_type(NodeType::Output)[0];
+        let mut scratch = ConeScratch::new();
+        let (members, boundary) = fanin_cone_into(&g, out, &mut scratch);
+        // the output is fed directly by reg_b: no members, one boundary reg
+        assert!(members.is_empty());
+        assert_eq!(boundary, &[rb]);
+        // a sink apex is its own port: no extra output is appended
+        let cc = cone_circuit_parts(&g, out, members, boundary);
+        assert!(cc.circuit.is_valid(), "{:?}", cc.circuit.validate());
+        assert_eq!(cc.circuit.count_of_type(NodeType::Output), 1);
+        assert_eq!(cc.circuit.count_of_type(NodeType::Input), 1);
+    }
+
+    #[test]
+    fn scratch_tag_survives_many_extractions() {
+        let (g, ra, _) = two_regs();
+        let mut scratch = ConeScratch::new();
+        let reference = driving_cone(&g, ra);
+        for _ in 0..1000 {
+            let (members, boundary) = fanin_cone_into(&g, ra, &mut scratch);
+            assert_eq!(members, reference.members.as_slice());
+            assert_eq!(boundary, reference.boundary.as_slice());
+        }
     }
 }

@@ -5,7 +5,8 @@
 //! realizes both directions for a well-defined synthesizable Verilog-2001
 //! subset:
 //!
-//! - [`emit`] prints a [`CircuitGraph`] as a Verilog module (one wire per
+//! - [`emit`] prints a [`CircuitGraph`](syncircuit_graph::CircuitGraph)
+//!   as a Verilog module (one wire per
 //!   node, named `n<id>`; registers in per-register `always` blocks).
 //! - [`parse`] reads that subset back into a graph, recovering node ids,
 //!   types, widths and auxiliary attributes exactly.

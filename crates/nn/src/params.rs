@@ -62,6 +62,14 @@ impl ParamStore {
         self.mats.iter().map(|m| m.data().len()).sum()
     }
 
+    /// `(rows, cols)` of every registered parameter, in registration
+    /// order — the architecture signature used to check that a restored
+    /// store matches a freshly constructed model (see model persistence
+    /// in the core crate).
+    pub fn shapes(&self) -> Vec<(usize, usize)> {
+        self.mats.iter().map(Matrix::shape).collect()
+    }
+
     pub(crate) fn all(&self) -> &[Matrix] {
         &self.mats
     }

@@ -8,6 +8,13 @@
 //! for synthesis of cones whose fan-in actually changed under the swap
 //! (cache miss); every untouched cone is a hash lookup.
 //!
+//! Warm queries are **allocation-free**: the observability mask, the
+//! cone visited sets and member/boundary lists, and the cone-local id
+//! maps are all tag-stamped scratch buffers owned by the evaluator and
+//! reused across queries (cone extraction itself goes through the
+//! generalized [`syncircuit_graph::cone::fanin_cone_into`]). Standalone
+//! cone circuits are only materialized on cache misses.
+//!
 //! The decomposed metric is deliberately *not* bit-identical to
 //! whole-design PCS — global CSE can merge logic across cones, which no
 //! cone-local scheme can observe — but it is deterministic,
@@ -26,7 +33,7 @@
 use crate::area::CellLibrary;
 use crate::passes::optimized_area;
 use std::collections::HashMap;
-use syncircuit_graph::cone::{cone_circuit, driving_cone};
+use syncircuit_graph::cone::{cone_circuit_parts, fanin_cone_into, ConeScratch};
 use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
 
@@ -39,101 +46,29 @@ pub struct ConeCacheStats {
     pub misses: u64,
 }
 
-/// Memoizing per-cone synthesis evaluator.
-///
-/// Keys are structural fingerprints of the cone — hashed *in the host
-/// graph* (boundary kinds, member attributes, cone-local wiring), so a
-/// warm query never materializes a cone circuit; the standalone circuit
-/// is only built on a cache miss, to be synthesized. Identical cones —
-/// across queries, registers, or even designs — share one synthesis
-/// run.
-#[derive(Debug)]
-pub struct ConeSynthCache {
-    lib: CellLibrary,
-    areas: HashMap<u64, f64>,
-    stats: ConeCacheStats,
-    /// Scratch host-id → cone-local-id map (tag-stamped, no clearing).
+/// Tag-stamped scratch for the cone-key computation: host-id →
+/// cone-local-id maps that are invalidated by bumping an epoch tag
+/// instead of clearing.
+#[derive(Debug, Default)]
+struct KeyScratch {
     local_tag: Vec<u32>,
     local_id: Vec<u32>,
     tag: u32,
 }
 
-impl Default for ConeSynthCache {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl ConeSynthCache {
-    /// Evaluator with the default cell library.
-    pub fn new() -> Self {
-        Self::with_library(CellLibrary::default())
-    }
-
-    /// Evaluator with an explicit cell library.
-    pub fn with_library(lib: CellLibrary) -> Self {
-        ConeSynthCache {
-            lib,
-            areas: HashMap::new(),
-            stats: ConeCacheStats::default(),
-            local_tag: Vec::new(),
-            local_id: Vec::new(),
-            tag: 0,
-        }
-    }
-
-    /// Cache statistics so far.
-    pub fn stats(&self) -> ConeCacheStats {
-        self.stats
-    }
-
-    /// Incremental cone-decomposed PCS of `g` (larger ⇒ less redundancy).
-    ///
-    /// Deterministic in `g` alone: the cache only memoizes a pure
-    /// function of cone structure, so a warm evaluator returns exactly
-    /// what a cold one would.
-    pub fn pcs(&mut self, g: &CircuitGraph) -> f64 {
-        let n = g.node_count();
-        if n == 0 {
-            return 0.0;
-        }
-        let observed = observed_mask(g);
-        let mut area = 0.0;
-        for r in g.nodes_of_type(NodeType::Reg) {
-            if !observed[r.index()] {
-                continue; // fan-out dead: synthesis would sweep it
-            }
-            let cone = driving_cone(g, r);
-            let key = self.cone_key(g, &cone.boundary, &cone.members, cone.register);
-            area += self.lookup_or_synth(key, || cone_circuit(g, &cone).circuit);
-        }
-        for o in g.nodes_of_type(NodeType::Output) {
-            let cone = sink_cone(g, o);
-            let key = self.cone_key(g, &cone.boundary, &cone.members, cone.output);
-            area += self.lookup_or_synth(key, || sink_cone_circuit(g, &cone));
-        }
-        area / n as f64
-    }
-
-    /// Memoized post-synthesis area; `build` materializes the standalone
-    /// cone circuit only when the key is new.
-    fn lookup_or_synth(&mut self, key: u64, build: impl FnOnce() -> CircuitGraph) -> f64 {
-        if let Some(&a) = self.areas.get(&key) {
-            self.stats.hits += 1;
-            return a;
-        }
-        self.stats.misses += 1;
-        let a = optimized_area(&build(), &self.lib);
-        self.areas.insert(key, a);
-        a
-    }
-
+impl KeyScratch {
     /// Structural key of a cone, computed in the host graph: assigns
     /// cone-local ids in the same order the standalone constructors do
     /// (boundary, members, apex) and hashes boundary kinds, node
     /// attributes and local wiring with a splitmix64 chain. Equal cone
     /// circuits hash equally regardless of host-graph node ids.
-    fn cone_key(&mut self, g: &CircuitGraph, boundary: &[NodeId], members: &[NodeId], apex: NodeId) -> u64 {
+    fn cone_key(
+        &mut self,
+        g: &CircuitGraph,
+        boundary: &[NodeId],
+        members: &[NodeId],
+        apex: NodeId,
+    ) -> u64 {
         let n = g.node_count();
         if self.local_tag.len() < n {
             self.local_tag.resize(n, 0);
@@ -180,91 +115,143 @@ impl ConeSynthCache {
     }
 }
 
-/// Nodes from which a primary output is reachable (reverse BFS from all
-/// outputs over parent edges, crossing registers).
-fn observed_mask(g: &CircuitGraph) -> Vec<bool> {
-    let mut seen = vec![false; g.node_count()];
-    let mut stack: Vec<NodeId> = g.nodes_of_type(NodeType::Output);
-    for &o in &stack {
-        seen[o.index()] = true;
-    }
-    while let Some(u) = stack.pop() {
-        for &p in g.parents(u) {
-            if !seen[p.index()] {
-                seen[p.index()] = true;
-                stack.push(p);
+/// Tag-stamped output-reachability mask (reverse BFS from all primary
+/// outputs over parent edges, crossing registers); the stack buffer is
+/// reused across queries.
+#[derive(Debug, Default)]
+struct ObservedScratch {
+    seen: Vec<u32>,
+    stamp: u32,
+    stack: Vec<NodeId>,
+}
+
+impl ObservedScratch {
+    /// Re-stamps the mask for `g`; afterwards `self.observed(id)` answers
+    /// whether a primary output is reachable from `id`.
+    fn mark(&mut self, g: &CircuitGraph) {
+        let n = g.node_count();
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.seen.fill(0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        self.stack.clear();
+        for (id, node) in g.iter() {
+            if node.ty() == NodeType::Output {
+                self.seen[id.index()] = stamp;
+                self.stack.push(id);
             }
         }
-    }
-    seen
-}
-
-/// The combinational cone feeding one output port: reverse BFS from the
-/// output stopping at (but recording) `const` / `in` / `reg`
-/// boundaries, mirroring register driving cones (§VI-A) with the output
-/// as apex.
-struct SinkCone {
-    output: NodeId,
-    members: Vec<NodeId>,
-    boundary: Vec<NodeId>,
-}
-
-fn sink_cone(g: &CircuitGraph, output: NodeId) -> SinkCone {
-    debug_assert!(g.ty(output).is_sink());
-    let mut members = Vec::new();
-    let mut boundary = Vec::new();
-    let mut seen = vec![false; g.node_count()];
-    seen[output.index()] = true;
-    let mut queue: Vec<NodeId> = g.parents(output).to_vec();
-    let mut head = 0;
-    while head < queue.len() {
-        let u = queue[head];
-        head += 1;
-        if seen[u.index()] {
-            continue;
-        }
-        seen[u.index()] = true;
-        if matches!(g.ty(u), NodeType::Const | NodeType::Input | NodeType::Reg) {
-            boundary.push(u);
-        } else {
-            members.push(u);
+        while let Some(u) = self.stack.pop() {
             for &p in g.parents(u) {
-                if !seen[p.index()] {
-                    queue.push(p);
+                if self.seen[p.index()] != stamp {
+                    self.seen[p.index()] = stamp;
+                    self.stack.push(p);
                 }
             }
         }
     }
-    SinkCone {
-        output,
-        members,
-        boundary,
+
+    fn observed(&self, id: NodeId) -> bool {
+        self.seen[id.index()] == self.stamp
     }
 }
 
-/// Standalone synthesizable circuit of a sink cone (built on cache
-/// misses only).
-fn sink_cone_circuit(g: &CircuitGraph, cone: &SinkCone) -> CircuitGraph {
-    let mut out = CircuitGraph::new(format!("{}_sink_{}", g.name(), cone.output));
-    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
-    for &b in &cone.boundary {
-        let node = g.node(b);
-        let new = match node.ty() {
-            NodeType::Const => out.add_const(node.width(), node.aux()),
-            _ => out.add_node(NodeType::Input, node.width()),
-        };
-        mapping.insert(b, new);
+/// Memoizing per-cone synthesis evaluator.
+///
+/// Keys are structural fingerprints of the cone — hashed *in the host
+/// graph* (boundary kinds, member attributes, cone-local wiring), so a
+/// warm query never materializes a cone circuit; the standalone circuit
+/// is only built on a cache miss, to be synthesized. Identical cones —
+/// across queries, registers, or even designs — share one synthesis
+/// run.
+#[derive(Debug)]
+pub struct ConeSynthCache {
+    lib: CellLibrary,
+    areas: HashMap<u64, f64>,
+    stats: ConeCacheStats,
+    key: KeyScratch,
+    cone: ConeScratch,
+    observed: ObservedScratch,
+}
+
+impl Default for ConeSynthCache {
+    fn default() -> Self {
+        Self::new()
     }
-    for &m in &cone.members {
-        mapping.insert(m, out.push_node(*g.node(m)));
+}
+
+impl ConeSynthCache {
+    /// Evaluator with the default cell library.
+    pub fn new() -> Self {
+        Self::with_library(CellLibrary::default())
     }
-    let apex = out.push_node(*g.node(cone.output));
-    mapping.insert(cone.output, apex);
-    for &m in cone.members.iter().chain(std::iter::once(&cone.output)) {
-        let new_parents: Vec<NodeId> = g.parents(m).iter().map(|p| mapping[p]).collect();
-        out.set_parents_unchecked(mapping[&m], &new_parents);
+
+    /// Evaluator with an explicit cell library.
+    pub fn with_library(lib: CellLibrary) -> Self {
+        ConeSynthCache {
+            lib,
+            areas: HashMap::new(),
+            stats: ConeCacheStats::default(),
+            key: KeyScratch::default(),
+            cone: ConeScratch::new(),
+            observed: ObservedScratch::default(),
+        }
     }
-    out
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> ConeCacheStats {
+        self.stats
+    }
+
+    /// Incremental cone-decomposed PCS of `g` (larger ⇒ less redundancy).
+    ///
+    /// Deterministic in `g` alone: the cache only memoizes a pure
+    /// function of cone structure, so a warm evaluator returns exactly
+    /// what a cold one would.
+    pub fn pcs(&mut self, g: &CircuitGraph) -> f64 {
+        let n = g.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.observed.mark(g);
+        let mut area = 0.0;
+        for (id, node) in g.iter() {
+            if node.ty() != NodeType::Reg {
+                continue;
+            }
+            if !self.observed.observed(id) {
+                continue; // fan-out dead: synthesis would sweep it
+            }
+            area += self.cone_area(g, id);
+        }
+        for (id, node) in g.iter() {
+            if node.ty() == NodeType::Output {
+                area += self.cone_area(g, id);
+            }
+        }
+        area / n as f64
+    }
+
+    /// Memoized post-synthesis area of the fan-in cone of `apex`; the
+    /// standalone cone circuit is materialized only when the key is new.
+    fn cone_area(&mut self, g: &CircuitGraph, apex: NodeId) -> f64 {
+        let (members, boundary) = fanin_cone_into(g, apex, &mut self.cone);
+        let key = self.key.cone_key(g, boundary, members, apex);
+        if let Some(&a) = self.areas.get(&key) {
+            self.stats.hits += 1;
+            return a;
+        }
+        self.stats.misses += 1;
+        let circuit = cone_circuit_parts(g, apex, members, boundary).circuit;
+        let a = optimized_area(&circuit, &self.lib);
+        self.areas.insert(key, a);
+        a
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +366,22 @@ mod tests {
     fn empty_graph_scores_zero() {
         let mut ev = ConeSynthCache::new();
         assert_eq!(ev.pcs(&CircuitGraph::new("empty")), 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_over_many_queries() {
+        // Warm queries ride entirely on tag-stamped scratch; a thousand
+        // alternating evaluations must stay bit-identical to the first.
+        let (alive, dead) = alive_and_dead();
+        let mut ev = ConeSynthCache::new();
+        let a0 = ev.pcs(&alive);
+        let d0 = ev.pcs(&dead);
+        let cold_misses = ev.stats().misses;
+        for _ in 0..1000 {
+            assert_eq!(ev.pcs(&alive).to_bits(), a0.to_bits());
+            assert_eq!(ev.pcs(&dead).to_bits(), d0.to_bits());
+        }
+        let s = ev.stats();
+        assert_eq!(s.misses, cold_misses, "only the cold queries synthesize");
     }
 }

@@ -7,8 +7,8 @@
 //! cargo run --release --example augment_ppa
 //! ```
 
-use syncircuit::core::{PipelineConfig, SynCircuit};
 use syncircuit::ppa::{label_all, run_task, Target};
+use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 use syncircuit::synth::LabelConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,18 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let before = run_task(&base, &test_set, 1.0);
 
     println!("training SynCircuit on the full 15-design split...");
-    let mut config = PipelineConfig::tiny();
-    config.seed = 11;
+    let config = PipelineConfig::builder().seed(11).build()?;
     let model = SynCircuit::fit(&train_graphs, config)?;
-    println!("generating 10 synthetic designs...");
-    let mut synthetic = Vec::new();
-    let mut seed = 0u64;
-    while synthetic.len() < 10 && seed < 100 {
-        if let Ok(g) = model.generate_seeded(70, seed) {
-            synthetic.push(g.graph);
-        }
-        seed += 1;
-    }
+    println!("generating 10 synthetic designs from a lazy stream...");
+    let synthetic: Vec<_> = model
+        .stream(GenRequest::nodes(70).seeded(0))
+        .take(100)
+        .filter_map(|r| r.ok().map(|g| g.graph))
+        .take(10)
+        .collect();
     let augmentation = label_all(&synthetic, &label_cfg);
     let mut augmented_train = base.clone();
     augmented_train.extend(augmentation);

@@ -1,14 +1,15 @@
 //! Quickstart: train SynCircuit on a slice of the corpus, generate one
-//! brand-new synthetic circuit, and inspect it end to end (validity,
-//! Verilog, synthesis statistics).
+//! brand-new synthetic circuit through the request API, inspect it end
+//! to end (validity, Verilog, synthesis statistics), and round-trip the
+//! trained model through the versioned artifact.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use syncircuit::core::{PipelineConfig, SynCircuit};
 use syncircuit::hdl;
 use syncircuit::synth::{optimize, scpr, timing_analysis};
+use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A training corpus of real designs (here: three corpus entries;
@@ -21,12 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training on {} designs...", corpus.len());
 
     // 2. Fit the three-phase pipeline (diffusion → refinement → MCTS).
-    let mut config = PipelineConfig::tiny();
-    config.seed = 42;
+    //    Configurations are built through the validating builder.
+    let config = PipelineConfig::builder().seed(42).build()?;
     let model = SynCircuit::fit(&corpus, config)?;
 
-    // 3. Generate a brand-new 50-node circuit.
-    let generated = model.generate(50)?;
+    // 3. Generate a brand-new 50-node circuit from a generation request.
+    let generated = model.generate_one(&GenRequest::nodes(50))?;
     let circuit = &generated.graph;
     println!(
         "generated `{}`: {} nodes, {} edges, {} register bits (G_ini had {} edges)",
@@ -64,5 +65,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reparsed = hdl::parse(&verilog)?;
     assert_eq!(&reparsed, circuit);
     println!("\nVerilog round-trip: OK");
+
+    // 7. Fit and generate can run in separate processes: persist the
+    //    trained model and check the restored generator replays the
+    //    exact same design.
+    let artifact = std::env::temp_dir().join("syncircuit_quickstart_model.json");
+    model.save(&artifact)?;
+    let served = SynCircuit::load(&artifact)?;
+    let replay = served.generate_one(&GenRequest::nodes(50))?;
+    assert_eq!(&replay.graph, circuit);
+    println!(
+        "model artifact round-trip: OK ({} bytes at {})",
+        std::fs::metadata(&artifact)?.len(),
+        artifact.display()
+    );
     Ok(())
 }

@@ -7,9 +7,9 @@
 //! ```
 
 use syncircuit::core::{
-    optimize_cone_mcts, optimize_cone_random, ExactSynthReward, MctsConfig, PipelineConfig,
-    SynCircuit,
+    optimize_cone_mcts, optimize_cone_random, ExactSynthReward, MctsConfig,
 };
+use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 use syncircuit::graph::cone::{all_driving_cones, cone_circuit};
 use syncircuit::synth::{optimize, scpr};
 
@@ -19,11 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .take(5)
         .map(|d| d.graph)
         .collect();
-    let mut config = PipelineConfig::tiny();
-    config.optimize_redundancy = false; // we optimize manually below
-    config.seed = 7;
+    let config = PipelineConfig::builder()
+        .optimize_redundancy(false) // we optimize manually below
+        .seed(7)
+        .build()?;
     let model = SynCircuit::fit(&corpus, config)?;
-    let gval = model.generate(60)?.gval;
+    let gval = model.generate_one(&GenRequest::nodes(60))?.gval;
     println!(
         "G_val: {} nodes, SCPR {:.2} (registers get slaughtered by synthesis)",
         gval.node_count(),

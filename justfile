@@ -18,6 +18,14 @@ lint:
 fmt-check:
     cargo fmt --all -- --check
 
+# rustdoc wall: broken intra-doc links and other doc warnings fail
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# run the quickstart example end to end (train, generate, emit, persist)
+example-smoke:
+    cargo run --release --example quickstart
+
 # compile + run the 7 experiment harnesses briefly; the micro bench
 # runs the shimmed Criterion loop, the table/figure benches print rows
 bench-smoke:
@@ -42,4 +50,4 @@ determinism:
     @echo "deterministic: two runs identical"
 
 # everything CI checks, in CI order
-ci: build test lint
+ci: build test lint doc example-smoke

@@ -18,21 +18,31 @@
 //! - [`ppa`] — downstream RTL-stage PPA prediction (MasterRTL/RTL-Timer
 //!   style)
 //!
+//! The service-ready generation surface is re-exported at the crate
+//! root: [`SynCircuit`], the validating [`PipelineConfig`] builder, the
+//! unified [`GenRequest`], lazy [`Generator`] streams, parallel
+//! [`SynCircuit::generate_batch`], versioned model persistence
+//! ([`SynCircuit::save`] / [`SynCircuit::load`]), and the unified
+//! [`Error`] enum.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use syncircuit::core::{PipelineConfig, SynCircuit};
+//! use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 //! use syncircuit::datasets;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), syncircuit::Error> {
 //! // Train on a small slice of the corpus, then generate one circuit.
 //! let corpus: Vec<_> = datasets::corpus().into_iter().take(3)
 //!     .map(|d| d.graph).collect();
-//! let mut cfg = PipelineConfig::tiny();
-//! cfg.seed = 7;
-//! let model = SynCircuit::fit(&corpus, cfg)?;
-//! let circuit = model.generate(60)?;
-//! assert!(circuit.graph.is_valid());
+//! let config = PipelineConfig::builder().seed(7).build()?;
+//! let model = SynCircuit::fit(&corpus, config)?;
+//! let generated = model.generate_one(&GenRequest::nodes(60))?;
+//! assert!(generated.graph.is_valid());
+//!
+//! // Streams and batches come from the same request shape:
+//! let three: Vec<_> = model.stream(GenRequest::nodes(40)).take(3).collect();
+//! assert_eq!(three.len(), 3);
 //! # Ok(())
 //! # }
 //! ```
@@ -46,3 +56,8 @@ pub use syncircuit_metrics as metrics;
 pub use syncircuit_nn as nn;
 pub use syncircuit_ppa as ppa;
 pub use syncircuit_synth as synth;
+
+pub use syncircuit_core::{
+    ConfigError, Error, GenRequest, Generated, Generator, PersistError, PhaseToggles,
+    PipelineConfig, PipelineConfigBuilder, RequestError, SynCircuit,
+};

@@ -3,8 +3,8 @@
 //! the diffusion model must beat the random ablation structurally on a
 //! seeded run.
 
-use syncircuit::core::{PipelineConfig, SynCircuit};
 use syncircuit::metrics::compare_against_real;
+use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 
 #[test]
 fn generated_sets_compare_against_real_designs() {
@@ -13,19 +13,33 @@ fn generated_sets_compare_against_real_designs() {
         .take(6)
         .map(|d| d.graph)
         .collect();
-    let mut config = PipelineConfig::tiny();
-    config.optimize_redundancy = false;
-    config.seed = 21;
+    let config = PipelineConfig::builder()
+        .optimize_redundancy(false)
+        .seed(21)
+        .build()
+        .expect("valid configuration");
     let model = SynCircuit::fit(&corpus, config).expect("fit");
 
     let real = &corpus[0];
     let n = real.node_count();
 
     let with_diff: Vec<_> = (0..3)
-        .filter_map(|s| model.generate_seeded(n, s).ok().map(|g| g.gval))
+        .filter_map(|s| {
+            model
+                .generate_one(&GenRequest::nodes(n).seeded(s))
+                .ok()
+                .map(|g| g.gval)
+        })
         .collect();
     let without: Vec<_> = (0..3)
-        .filter_map(|s| model.generate_without_diffusion(n, s).ok())
+        .filter_map(|s| {
+            model
+                .generate_one(
+                    &GenRequest::nodes(n).seeded(s).without_diffusion().optimize(false),
+                )
+                .ok()
+                .map(|g| g.graph)
+        })
         .collect();
     assert!(!with_diff.is_empty() && !without.is_empty());
 
@@ -53,13 +67,15 @@ fn timing_distributions_of_generated_designs_are_nontrivial() {
         .take(5)
         .map(|d| d.graph)
         .collect();
-    let mut config = PipelineConfig::tiny();
-    config.seed = 33;
+    let config = PipelineConfig::builder()
+        .seed(33)
+        .build()
+        .expect("valid configuration");
     let model = SynCircuit::fit(&corpus, config).expect("fit");
     let cfg = LabelConfig::fixed(0.5); // aggressive absolute constraint
     let mut any_violation = false;
     for seed in 0..4 {
-        if let Ok(gen) = model.generate_seeded(50, seed) {
+        if let Ok(gen) = model.generate_one(&GenRequest::nodes(50).seeded(seed)) {
             let (labels, _, _) = label_design(&gen.graph, &cfg);
             assert!(labels.critical_delay >= 0.0);
             if labels.nvp > 0 {

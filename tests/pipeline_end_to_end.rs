@@ -3,8 +3,8 @@
 //! simulate, synthesize.
 
 use std::collections::HashMap;
-use syncircuit::core::{PipelineConfig, SynCircuit};
 use syncircuit::graph::interp::Simulator;
+use syncircuit::{GenRequest, PipelineConfig, SynCircuit};
 use syncircuit::hdl;
 use syncircuit::synth::{optimize, scpr};
 
@@ -14,8 +14,10 @@ fn trained_model(seed: u64) -> SynCircuit {
         .take(5)
         .map(|d| d.graph)
         .collect();
-    let mut config = PipelineConfig::tiny();
-    config.seed = seed;
+    let config = PipelineConfig::builder()
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
     SynCircuit::fit(&corpus, config).expect("corpus is non-empty")
 }
 
@@ -23,7 +25,9 @@ fn trained_model(seed: u64) -> SynCircuit {
 fn generate_emit_parse_simulate_synthesize() {
     let model = trained_model(1);
     for seed in 0..3u64 {
-        let generated = model.generate_seeded(40, seed).expect("generation");
+        let generated = model
+            .generate_one(&GenRequest::nodes(40).seeded(seed))
+            .expect("generation");
         let g = &generated.graph;
         assert!(g.is_valid(), "{:?}", g.validate());
         assert_eq!(g.node_count(), 40);
@@ -51,7 +55,9 @@ fn phase3_improves_or_preserves_scpr() {
     let mut improved = 0usize;
     let mut total = 0usize;
     for seed in 0..4u64 {
-        let generated = model.generate_seeded(50, seed).expect("generation");
+        let generated = model
+            .generate_one(&GenRequest::nodes(50).seeded(seed))
+            .expect("generation");
         let before = scpr(&optimize(&generated.gval));
         let after = scpr(&optimize(&generated.graph));
         assert!(
@@ -75,8 +81,12 @@ fn phase3_improves_or_preserves_scpr() {
 #[test]
 fn generation_scales_with_node_budget() {
     let model = trained_model(3);
-    let small = model.generate_seeded(20, 0).expect("generation");
-    let large = model.generate_seeded(80, 0).expect("generation");
+    let small = model
+        .generate_one(&GenRequest::nodes(20).seeded(0))
+        .expect("generation");
+    let large = model
+        .generate_one(&GenRequest::nodes(80).seeded(0))
+        .expect("generation");
     assert_eq!(small.graph.node_count(), 20);
     assert_eq!(large.graph.node_count(), 80);
     assert!(large.graph.edge_count() > small.graph.edge_count());
@@ -88,7 +98,7 @@ fn conditioned_generation_mirrors_real_attributes() {
     let real = syncircuit::datasets::design("b01_flow").expect("exists").graph;
     let attrs: Vec<_> = real.iter().map(|(_, n)| *n).collect();
     let generated = model
-        .generate_with_attrs(&attrs, 9)
+        .generate_one(&GenRequest::with_attrs(attrs).seeded(9))
         .expect("conditioned generation");
     assert_eq!(generated.graph.node_count(), real.node_count());
     // same type multiset (bit-select widths may be legalized)
