@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json bench-all determinism ci
+.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json bench-all determinism stress ci
 
 build:
 	cargo build --release
@@ -31,9 +31,21 @@ bench-all:
 	cargo bench -p syncircuit-bench
 
 determinism:
-	cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run1.txt
-	cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run2.txt
+	cargo test -q > /tmp/syncircuit-run1.raw 2>&1
+	cargo test -q > /tmp/syncircuit-run2.raw 2>&1
+	sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-run1.raw > /tmp/syncircuit-run1.txt
+	sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-run2.raw > /tmp/syncircuit-run2.txt
 	diff /tmp/syncircuit-run1.txt /tmp/syncircuit-run2.txt
 	@echo "deterministic: two runs identical"
 
-ci: build test lint doc example-smoke
+stress:
+	SYNCIRCUIT_STRESS_WORKERS=32 cargo test --release -q -p syncircuit-core --test shared_cache_equivalence
+	SYNCIRCUIT_STRESS_WORKERS=32 cargo test --release -q -p syncircuit-synth incremental
+	cargo test --release -q > /tmp/syncircuit-rel1.raw 2>&1
+	cargo test --release -q > /tmp/syncircuit-rel2.raw 2>&1
+	sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-rel1.raw > /tmp/syncircuit-rel1.txt
+	sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-rel2.raw > /tmp/syncircuit-rel2.txt
+	diff /tmp/syncircuit-rel1.txt /tmp/syncircuit-rel2.txt
+	@echo "release determinism: two runs identical"
+
+ci: build test lint doc example-smoke stress

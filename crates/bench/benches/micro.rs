@@ -4,9 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use syncircuit_core::{
     optimize_cone_mcts, optimize_registers, ConeSelection, DiffusionConfig, DiffusionModel,
-    ExactSynthReward, IncrementalConeReward, MctsConfig, RefineConfig,
+    ExactSynthReward, GenRequest, IncrementalConeReward, MctsConfig, PipelineConfig,
+    RefineConfig, RewardKind, RewardModel, SynCircuit,
 };
 use syncircuit_datasets::design;
 use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
@@ -119,9 +121,86 @@ fn bench_optimize_registers(c: &mut Criterion) {
     });
 }
 
+/// Cache sharing across requests, isolated at the reward layer: eight
+/// "requests" score the same design's cones. `private` pays cold
+/// synthesis per request (the pre-PR-4 behavior — every batch worker
+/// re-synthesized everything); `shared` pays one cold request and seven
+/// table lookups through one lock-striped [`SharedConeSynthCache`]. The
+/// ratio of the two entries in `BENCH_phase3.json` is the measured
+/// multi-request speedup from cache sharing.
+fn bench_shared_cone_cache(c: &mut Criterion) {
+    use syncircuit_synth::SharedConeSynthCache;
+    let g = design("oc_fifo").expect("corpus design").graph;
+    c.bench_function("batch_8_requests_private_cone_cache", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..8 {
+                let reward = IncrementalConeReward::new();
+                total += reward.pcs(black_box(&g));
+            }
+            total
+        })
+    });
+    c.bench_function("batch_8_requests_shared_cone_cache", |b| {
+        b.iter(|| {
+            let shared = Arc::new(SharedConeSynthCache::new());
+            let mut total = 0.0;
+            for _ in 0..8 {
+                let reward = IncrementalConeReward::with_shared(shared.clone());
+                total += reward.pcs(black_box(&g));
+            }
+            total
+        })
+    });
+}
+
+/// End-to-end warm batch serving: `generate_batch` over 4 workers with
+/// the model-wide shared cache (requests deliberately repeat seeds so
+/// workers collide on warm cone keys).
+fn bench_batch_shared_cache(c: &mut Criterion) {
+    let corpus: Vec<_> = syncircuit_datasets::corpus()
+        .into_iter()
+        .take(4)
+        .map(|d| d.graph)
+        .collect();
+    let mut dcfg = DiffusionConfig::tiny();
+    dcfg.epochs = 5;
+    let cfg = PipelineConfig::builder()
+        .diffusion(dcfg)
+        .reward(RewardKind::IncrementalCone)
+        .build()
+        .expect("valid configuration");
+    let model = SynCircuit::fit(&corpus, cfg).expect("non-empty corpus");
+    let requests: Vec<GenRequest> = (0..6u64)
+        .map(|k| GenRequest::nodes(24).seeded(k % 3))
+        .collect();
+    c.bench_function("generate_batch_shared_cache_4_workers", |b| {
+        b.iter(|| model.generate_batch_with(black_box(&requests), 4))
+    });
+}
+
+/// Deterministic parallel training: the same corpus and seed through
+/// the epoch-synchronous diffusion trainer at 1 vs 4 workers (outputs
+/// are bit-identical; the delta is pure wall-clock).
+fn bench_fit_parallel(c: &mut Criterion) {
+    let corpus: Vec<_> = syncircuit_datasets::corpus()
+        .into_iter()
+        .take(6)
+        .map(|d| d.graph)
+        .collect();
+    let mut cfg = DiffusionConfig::tiny();
+    cfg.epochs = 4;
+    c.bench_function("fit_diffusion_1_worker", |b| {
+        b.iter(|| DiffusionModel::train_with_workers(black_box(&corpus), cfg.clone(), 1, 1))
+    });
+    c.bench_function("fit_diffusion_4_workers", |b| {
+        b.iter(|| DiffusionModel::train_with_workers(black_box(&corpus), cfg.clone(), 1, 4))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_sta, bench_stats, bench_diffusion_sample, bench_refine, bench_mcts_cone, bench_optimize_registers
+    targets = bench_synthesis, bench_sta, bench_stats, bench_diffusion_sample, bench_refine, bench_mcts_cone, bench_optimize_registers, bench_shared_cone_cache, bench_batch_shared_cache, bench_fit_parallel
 }
 criterion_main!(benches);

@@ -66,6 +66,12 @@ pub struct PipelineConfig {
     pub(crate) reward: RewardKind,
     /// Master seed (training and default generation).
     pub(crate) seed: u64,
+    /// Lock-stripe count of the shared cone-synthesis cache (`0` ⇒ the
+    /// library default). Operational knob: tunes contention, never
+    /// results — excluded from model artifacts, so loaded models use
+    /// the default stripe count.
+    #[serde(skip)]
+    pub(crate) cone_cache_shards: usize,
 }
 
 impl PipelineConfig {
@@ -90,6 +96,7 @@ impl PipelineConfig {
             cone_selection: ConeSelection::WorstK(4),
             reward: RewardKind::Exact,
             seed: 0,
+            cone_cache_shards: 0,
         }
     }
 
@@ -119,6 +126,7 @@ impl PipelineConfig {
             cone_selection: ConeSelection::All,
             reward: RewardKind::Discriminator { epochs: 400 },
             seed: 0,
+            cone_cache_shards: 0,
         }
     }
 
@@ -155,6 +163,14 @@ impl PipelineConfig {
     /// Master seed (training and default generation).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Lock-stripe count of the shared cone-synthesis cache (`0` ⇒ the
+    /// library default, currently 16; values round up to a power of
+    /// two at cache construction). See
+    /// [`syncircuit_synth::SharedConeSynthCache`].
+    pub fn cone_cache_shards(&self) -> usize {
+        self.cone_cache_shards
     }
 
     /// Checks the bad-combination rules; [`PipelineConfigBuilder::build`]
@@ -294,6 +310,17 @@ impl PipelineConfigBuilder {
     /// Sets the master seed (training and default generation).
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Sets the lock-stripe count of the shared cone-synthesis cache
+    /// (`0` ⇒ the library default; rounded up to a power of two).
+    ///
+    /// Operational knob: stripes only trade lock contention against
+    /// memory — every count produces byte-identical generation output —
+    /// so it is not persisted in model artifacts.
+    pub fn cone_cache_shards(mut self, shards: usize) -> Self {
+        self.config.cone_cache_shards = shards;
         self
     }
 
@@ -484,6 +511,20 @@ mod tests {
             PipelineConfig::builder().mcts(m).build(),
             Err(ConfigError::BadExploration(_))
         ));
+    }
+
+    #[test]
+    fn cone_cache_shards_knob() {
+        assert_eq!(
+            PipelineConfig::tiny().cone_cache_shards(),
+            0,
+            "0 means library default"
+        );
+        let cfg = PipelineConfig::builder()
+            .cone_cache_shards(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.cone_cache_shards(), 8);
     }
 
     #[test]

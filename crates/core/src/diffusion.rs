@@ -18,11 +18,11 @@
 use crate::denoiser::{adjacency_operator, feature_matrix, Denoiser};
 use crate::error::Error;
 use crate::schedule::NoiseSchedule;
-use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
+use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, Node, NodeType};
-use syncircuit_nn::{Adam, Matrix, ParamStore, Tape};
+use syncircuit_nn::{Adam, Gradients, Matrix, ParamStore, Tape};
 
 /// Edge-decoding strategy during training and sampling.
 ///
@@ -51,6 +51,13 @@ pub struct DiffusionConfig {
     /// Diffusion steps (paper: 9).
     pub steps: usize,
     /// Training epochs over the corpus.
+    ///
+    /// Since the epoch-synchronous trainer (PR 4), one epoch is one
+    /// *averaged* optimizer step over every corpus graph's gradient —
+    /// not one Adam step per graph as in the earlier sequential-SGD
+    /// loop. Configs tuned against the old loop that need comparable
+    /// optimizer-update counts should scale `epochs` by roughly the
+    /// corpus size.
     pub epochs: usize,
     /// Adam learning rate.
     pub lr: f32,
@@ -183,8 +190,33 @@ pub struct DiffusionModel {
     pub(crate) mean_degree: f64,
 }
 
+/// Per-graph data pre-extracted once before the epoch loop.
+struct TrainGraph {
+    feats: Matrix,
+    edges: Vec<(u32, u32)>,
+    n: usize,
+    schedule: NoiseSchedule,
+}
+
+/// Seed of the per-`(epoch, graph)` corruption/negative-sampling RNG:
+/// a splitmix64 chain over the master seed, so every graph's gradient
+/// contribution is a pure function of `(params, graph, epoch)` — the
+/// property that lets [`DiffusionModel::train_with_workers`] compute
+/// them on any thread and still merge bit-identically.
+fn epoch_graph_seed(seed: u64, epoch: usize, graph: usize) -> u64 {
+    splitmix64(splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15) ^ ((epoch as u64) << 32 | graph as u64))
+}
+
 impl DiffusionModel {
-    /// Trains the denoiser on real circuits.
+    /// Trains the denoiser on real circuits (single worker; see
+    /// [`DiffusionModel::train_with_workers`] for the parallel
+    /// bit-identical variant).
+    ///
+    /// Training is epoch-synchronous: every epoch computes one BCE
+    /// gradient per corpus graph against the epoch-start parameters
+    /// (per-graph RNG seeded by a splitmix64 chain over
+    /// `(master seed, epoch, graph index)`), merges them in corpus
+    /// order, averages, clips, and applies a single Adam step.
     ///
     /// # Errors
     ///
@@ -193,6 +225,29 @@ impl DiffusionModel {
         graphs: &[CircuitGraph],
         config: DiffusionConfig,
         seed: u64,
+    ) -> Result<Self, Error> {
+        Self::train_with_workers(graphs, config, seed, 1)
+    }
+
+    /// [`DiffusionModel::train`] with per-graph gradient work fanned out
+    /// across `workers` scoped threads.
+    ///
+    /// **Bit-identical to the sequential path** for every worker count:
+    /// each graph's gradient is a pure function of the epoch-start
+    /// parameters and its derived seed, results land in per-graph slots,
+    /// and the merge (sum → average → clip → Adam) always runs on one
+    /// thread in corpus order — so the only thing parallelism changes is
+    /// wall-clock time (property-tested in
+    /// `tests/shared_cache_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCorpus`] when `graphs` is empty.
+    pub fn train_with_workers(
+        graphs: &[CircuitGraph],
+        config: DiffusionConfig,
+        seed: u64,
+        workers: usize,
     ) -> Result<Self, Error> {
         if graphs.is_empty() {
             return Err(Error::EmptyCorpus);
@@ -213,12 +268,6 @@ impl DiffusionModel {
         let mean_degree = (total_edges as f64 / total_nodes.max(1) as f64).max(0.5);
 
         // Pre-extract per-graph data.
-        struct TrainGraph {
-            feats: Matrix,
-            edges: Vec<(u32, u32)>,
-            n: usize,
-            schedule: NoiseSchedule,
-        }
         let prepared: Vec<TrainGraph> = graphs
             .iter()
             .map(|g| {
@@ -240,51 +289,33 @@ impl DiffusionModel {
             })
             .collect();
 
-        let mut order: Vec<usize> = (0..prepared.len()).collect();
-        for _epoch in 0..config.epochs {
-            order.shuffle(&mut rng);
-            for &gi in &order {
-                let tg = &prepared[gi];
-                let t = rng.gen_range(1..=config.steps);
-                let (noisy_parents, noisy_edges) =
-                    corrupt(&tg.edges, tg.n, &tg.schedule, t, &mut rng);
+        for epoch in 0..config.epochs {
+            let slots: Vec<Option<Gradients>> =
+                crate::par::parallel_map(prepared.len(), workers, |gi| {
+                    graph_gradient(
+                        &store,
+                        &denoiser,
+                        &config,
+                        &prepared[gi],
+                        epoch_graph_seed(seed, epoch, gi),
+                    )
+                });
 
-                // Candidate pairs: positives + sampled negatives + all
-                // noisy-present pairs.
-                let mut pairs: Vec<(u32, u32)> = Vec::new();
-                let mut labels: Vec<f32> = Vec::new();
-                let pos: std::collections::HashSet<(u32, u32)> =
-                    tg.edges.iter().copied().collect();
-                for &e in &tg.edges {
-                    pairs.push(e);
-                    labels.push(1.0);
+            // Deterministic reduction: sum in corpus order (f32 addition
+            // is order-sensitive), average over contributing graphs,
+            // clip, one Adam step per epoch.
+            let mut merged: Option<Gradients> = None;
+            let mut contributing = 0usize;
+            for g in slots {
+                let Some(g) = g else { continue };
+                contributing += 1;
+                match merged.as_mut() {
+                    Some(m) => m.accumulate(&g),
+                    None => merged = Some(g),
                 }
-                let neg_count = ((tg.edges.len() as f64) * config.neg_ratio).ceil() as usize;
-                for _ in 0..neg_count {
-                    let i = rng.gen_range(0..tg.n as u32);
-                    let j = rng.gen_range(0..tg.n as u32);
-                    if !pos.contains(&(i, j)) {
-                        pairs.push((i, j));
-                        labels.push(0.0);
-                    }
-                }
-                for &e in &noisy_edges {
-                    if !pos.contains(&e) {
-                        pairs.push(e);
-                        labels.push(0.0);
-                    }
-                }
-                if pairs.is_empty() {
-                    continue;
-                }
-
-                let adj = adjacency_operator(&noisy_parents);
-                let mut tape = Tape::new(&store);
-                let h = denoiser.encode(&mut tape, tg.feats.clone(), &adj, t);
-                let logits = denoiser.decode_pairs(&mut tape, h, &pairs, t);
-                let targets = Matrix::from_vec(pairs.len(), 1, labels);
-                let loss = tape.bce_with_logits_mean(logits, targets);
-                let mut grads = tape.backward(loss);
+            }
+            if let Some(mut grads) = merged {
+                grads.scale(1.0 / contributing as f32);
                 grads.clip_norm(config.grad_clip);
                 adam.step(&mut store, &grads);
             }
@@ -425,6 +456,59 @@ impl DiffusionModel {
         }
         pairs
     }
+}
+
+/// One graph's BCE gradient against the epoch-start parameters: corrupt
+/// with the derived RNG, assemble candidate pairs (positives + sampled
+/// negatives + noisy-present pairs), forward, backward. Returns `None`
+/// when the graph contributes no candidate pairs.
+///
+/// Pure in `(store, prepared graph, rng_seed)` — safe to compute on any
+/// worker thread without affecting the merged result.
+fn graph_gradient(
+    store: &ParamStore,
+    denoiser: &Denoiser,
+    config: &DiffusionConfig,
+    tg: &TrainGraph,
+    rng_seed: u64,
+) -> Option<Gradients> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let t = rng.gen_range(1..=config.steps);
+    let (noisy_parents, noisy_edges) = corrupt(&tg.edges, tg.n, &tg.schedule, t, &mut rng);
+
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    let pos: std::collections::HashSet<(u32, u32)> = tg.edges.iter().copied().collect();
+    for &e in &tg.edges {
+        pairs.push(e);
+        labels.push(1.0);
+    }
+    let neg_count = ((tg.edges.len() as f64) * config.neg_ratio).ceil() as usize;
+    for _ in 0..neg_count {
+        let i = rng.gen_range(0..tg.n as u32);
+        let j = rng.gen_range(0..tg.n as u32);
+        if !pos.contains(&(i, j)) {
+            pairs.push((i, j));
+            labels.push(0.0);
+        }
+    }
+    for &e in &noisy_edges {
+        if !pos.contains(&e) {
+            pairs.push(e);
+            labels.push(0.0);
+        }
+    }
+    if pairs.is_empty() {
+        return None;
+    }
+
+    let adj = adjacency_operator(&noisy_parents);
+    let mut tape = Tape::new(store);
+    let h = denoiser.encode(&mut tape, tg.feats.clone(), &adj, t);
+    let logits = denoiser.decode_pairs(&mut tape, h, &pairs, t);
+    let targets = Matrix::from_vec(pairs.len(), 1, labels);
+    let loss = tape.bce_with_logits_mean(logits, targets);
+    Some(tape.backward(loss))
 }
 
 /// Applies the closed-form forward corruption at step `t`: every true

@@ -64,11 +64,31 @@ impl PcsDiscriminator {
     ///
     /// Returns [`Error::EmptyTrainingSet`] when `cones` is empty.
     pub fn train(cones: &[CircuitGraph], epochs: usize, seed: u64) -> Result<Self, Error> {
+        Self::train_with_workers(cones, epochs, seed, 1)
+    }
+
+    /// [`PcsDiscriminator::train`] with the synthesis labeling pass —
+    /// the expensive part of discriminator training — fanned out across
+    /// `workers` scoped threads.
+    ///
+    /// Bit-identical to the sequential path for every worker count:
+    /// each cone's `(features, exact PCS)` label is a pure function of
+    /// the cone, results land in per-cone slots, and the epoch loop
+    /// consumes them in corpus order on one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyTrainingSet`] when `cones` is empty.
+    pub fn train_with_workers(
+        cones: &[CircuitGraph],
+        epochs: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Result<Self, Error> {
         let exact = ExactSynthReward::new();
-        let labeled: Vec<(Vec<f32>, f32)> = cones
-            .iter()
-            .map(|c| (cone_features(c), exact.pcs(c) as f32))
-            .collect();
+        let labeled: Vec<(Vec<f32>, f32)> = crate::par::parallel_map(cones.len(), workers, |k| {
+            (cone_features(&cones[k]), exact.pcs(&cones[k]) as f32)
+        });
         Self::train_on_labeled(&labeled, epochs, seed)
     }
 

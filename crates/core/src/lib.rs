@@ -47,6 +47,7 @@
 
 pub mod attrs;
 pub mod config;
+mod par;
 pub mod denoiser;
 pub mod diffusion;
 pub mod discriminator;
@@ -70,8 +71,7 @@ pub use mcts::{
 };
 pub use persist::{MODEL_FORMAT, MODEL_VERSION};
 pub use pipeline::{Generated, SynCircuit};
-#[allow(deprecated)]
-pub use pipeline::PipelineError;
+pub use syncircuit_synth::{ConeCacheStats, ConeShardStats, SharedConeSynthCache};
 pub use refine::{refine, refine_without_diffusion, RefineConfig, RefineError};
 pub use request::{GenRequest, Generator, PhaseToggles};
 pub use schedule::NoiseSchedule;

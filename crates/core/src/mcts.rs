@@ -53,7 +53,8 @@ use syncircuit_graph::cone::all_driving_cones;
 use syncircuit_graph::fingerprint::zobrist_fingerprint;
 use syncircuit_graph::swap::{SwapDelta, SwapGraph};
 use syncircuit_graph::{CircuitGraph, NodeId};
-use syncircuit_synth::incremental::{ConeCacheStats, ConeSynthCache};
+use std::sync::Arc;
+use syncircuit_synth::incremental::{ConeCacheStats, ConeSynthCache, SharedConeSynthCache};
 
 /// Reward oracle: post-synthesis circuit size of a candidate state.
 pub trait RewardModel {
@@ -89,18 +90,35 @@ impl RewardModel for ExactSynthReward {
 /// to [`ExactSynthReward`] (global CSE is invisible to cone-local
 /// synthesis); use it where reward-model throughput dominates, e.g.
 /// full-design register optimization.
+///
+/// The memo table can be shared between reward instances — and between
+/// worker threads — via [`IncrementalConeReward::with_shared`]: each
+/// instance keeps private query scratch (this type is deliberately
+/// `!Sync`; give every worker its own instance over one
+/// [`SharedConeSynthCache`] `Arc`), while cone synthesis results
+/// deduplicate globally. Sharing never changes returned rewards: the
+/// table memoizes a pure function of cone structure.
 #[derive(Debug, Default)]
 pub struct IncrementalConeReward {
     cache: RefCell<ConeSynthCache>,
 }
 
 impl IncrementalConeReward {
-    /// Evaluator with the default cell library and an empty cache.
+    /// Evaluator with the default cell library and a private table.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Cone-cache hit/miss counters accumulated so far.
+    /// Evaluator view over an existing shared cone-synthesis table
+    /// (fresh private scratch, shared memo entries).
+    pub fn with_shared(shared: Arc<SharedConeSynthCache>) -> Self {
+        IncrementalConeReward {
+            cache: RefCell::new(ConeSynthCache::with_shared(shared)),
+        }
+    }
+
+    /// Cone-cache hit/miss counters accumulated so far (summed over all
+    /// views of the underlying table when it is shared).
     pub fn cache_stats(&self) -> ConeCacheStats {
         self.cache.borrow().stats()
     }

@@ -1,0 +1,70 @@
+//! Crate-internal deterministic fan-out: compute `f(0..n)` on scoped
+//! worker threads into index-addressed slots.
+//!
+//! Every parallel surface in this crate (batched generation, the
+//! diffusion trainer, discriminator labeling) funnels through
+//! [`parallel_map`], so the claim-by-cursor / write-to-slot invariants
+//! live in exactly one place. Results come back in index order
+//! regardless of which worker computed them — combined with per-index
+//! pure `f`, that is what makes the callers byte-identical to their
+//! sequential paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `0..n` with up to `workers` scoped threads, returning
+/// results in index order. `workers` is clamped to `1..=n`; one worker
+/// (or `n <= 1`) runs inline with no thread machinery.
+///
+/// `f` must be pure per index for the parallel run to equal the
+/// sequential one — the harness guarantees only ordering, not purity.
+pub(crate) fn parallel_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                *slots[k].lock().expect("result slot poisoned") = Some(f(k));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_at_any_worker_count() {
+        for workers in [1usize, 2, 3, 8, 64] {
+            let out = parallel_map(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+}

@@ -15,7 +15,14 @@
 //! - [`SynCircuit::generate_batch`] fans independent requests out
 //!   across scoped worker threads — byte-identical to running them
 //!   sequentially, because the zero-clone Phase 3 engine shares no
-//!   mutable state between searches;
+//!   mutable state between searches and the one thing workers *do*
+//!   share, the lock-striped cone-synthesis cache
+//!   ([`SynCircuit::cone_cache`]), memoizes a pure function of cone
+//!   structure;
+//! - [`SynCircuit::fit_with_workers`] fans per-graph training work out
+//!   the same way, with a deterministic gradient merge — parallel `fit`
+//!   reproduces the sequential [`ParamStore`](syncircuit_nn::ParamStore)
+//!   bit for bit;
 //! - [`SynCircuit::save`] / [`SynCircuit::load`] persist the trained
 //!   model as a versioned JSON artifact so fit and generation can run
 //!   in separate processes (see [`crate::persist`]).
@@ -25,18 +32,16 @@ use crate::config::{PipelineConfig, RewardKind};
 use crate::diffusion::DiffusionModel;
 use crate::discriminator::PcsDiscriminator;
 use crate::error::{Error, RequestError};
-use crate::mcts::{optimize_registers, ExactSynthReward, MctsOutcome, RewardModel};
+use crate::mcts::{
+    optimize_registers, ExactSynthReward, IncrementalConeReward, MctsOutcome, RewardModel,
+};
 use crate::refine::{refine, refine_without_diffusion};
 use crate::request::{GenRequest, Generator};
 use rand::{rngs::StdRng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use syncircuit_graph::cone::{all_driving_cones, cone_circuit};
 use syncircuit_graph::{CircuitGraph, Node};
-
-/// Deprecated alias of the unified [`Error`] enum.
-#[deprecated(since = "0.2.0", note = "use `syncircuit_core::Error`")]
-pub type PipelineError = Error;
+use syncircuit_synth::{CellLibrary, ConeShardStats, SharedConeSynthCache};
 
 /// One generated circuit with its intermediate artifacts.
 #[derive(Clone, Debug)]
@@ -63,11 +68,26 @@ pub struct SynCircuit {
     pub(crate) attrs: AttrModel,
     pub(crate) discriminator: Option<PcsDiscriminator>,
     pub(crate) config: PipelineConfig,
+    /// Lock-striped cone-synthesis memo table shared by every request
+    /// this model serves (including all `generate_batch` workers).
+    /// Memoizes a pure function of cone structure, so sharing never
+    /// changes output bytes — it only deduplicates synthesis work.
+    pub(crate) cone_cache: Arc<SharedConeSynthCache>,
+}
+
+/// Builds the model-wide shared cone cache for a validated config.
+pub(crate) fn new_cone_cache(config: &PipelineConfig) -> Arc<SharedConeSynthCache> {
+    Arc::new(SharedConeSynthCache::with_shards(
+        CellLibrary::default(),
+        config.cone_cache_shards(),
+    ))
 }
 
 impl SynCircuit {
     /// Learns `P(G | V, X)` from real circuit graphs and prepares the
-    /// Phase 3 reward oracle.
+    /// Phase 3 reward oracle, fanning per-graph training work across
+    /// all available cores (see [`SynCircuit::fit_with_workers`] — the
+    /// worker count never changes the trained bits).
     ///
     /// # Errors
     ///
@@ -75,12 +95,44 @@ impl SynCircuit {
     /// possible for configurations that bypassed the builder) and
     /// [`Error::EmptyCorpus`] when `graphs` contains no nodes.
     pub fn fit(graphs: &[CircuitGraph], config: PipelineConfig) -> Result<Self, Error> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::fit_with_workers(graphs, config, workers)
+    }
+
+    /// [`SynCircuit::fit`] with an explicit worker count (clamped to at
+    /// least 1).
+    ///
+    /// Training fans out per-graph epoch work — diffusion gradients
+    /// ([`DiffusionModel::train_with_workers`]) and discriminator
+    /// synthesis labeling
+    /// ([`PcsDiscriminator::train_with_workers`]) — across
+    /// `std::thread::scope` workers with fixed per-graph seed
+    /// derivation and an ordered reduction, so the trained model is
+    /// **bit-identical for every worker count** (property-tested in
+    /// `tests/shared_cache_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// See [`SynCircuit::fit`].
+    pub fn fit_with_workers(
+        graphs: &[CircuitGraph],
+        config: PipelineConfig,
+        workers: usize,
+    ) -> Result<Self, Error> {
+        let workers = workers.max(1);
         config.validate()?;
         if graphs.is_empty() {
             return Err(Error::EmptyCorpus);
         }
         let attrs = AttrModel::fit(graphs)?;
-        let diffusion = DiffusionModel::train(graphs, config.diffusion.clone(), config.seed)?;
+        let diffusion = DiffusionModel::train_with_workers(
+            graphs,
+            config.diffusion.clone(),
+            config.seed,
+            workers,
+        )?;
 
         let discriminator = match config.reward {
             RewardKind::Exact | RewardKind::IncrementalCone => None,
@@ -113,15 +165,22 @@ impl SynCircuit {
                         samples.push(g);
                     }
                 }
-                Some(PcsDiscriminator::train(&samples, epochs, config.seed ^ 0xD15C)?)
+                Some(PcsDiscriminator::train_with_workers(
+                    &samples,
+                    epochs,
+                    config.seed ^ 0xD15C,
+                    workers,
+                )?)
             }
         };
 
+        let cone_cache = new_cone_cache(&config);
         Ok(SynCircuit {
             diffusion,
             attrs,
             discriminator,
             config,
+            cone_cache,
         })
     }
 
@@ -138,6 +197,21 @@ impl SynCircuit {
     /// The validated configuration this model was trained with.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The model-wide shared cone-synthesis cache (the warm state all
+    /// requests — sequential, streamed, or batched across workers —
+    /// deduplicate cone synthesis through). Only exercised when Phase 3
+    /// runs with [`RewardKind::IncrementalCone`].
+    pub fn cone_cache(&self) -> &Arc<SharedConeSynthCache> {
+        &self.cone_cache
+    }
+
+    /// Per-shard hit/miss/entry counters of the shared cone cache (see
+    /// [`SharedConeSynthCache::stats`]). Counters are telemetry only:
+    /// enabling or disabling them never changes generated bytes.
+    pub fn cone_cache_stats(&self) -> Vec<ConeShardStats> {
+        self.cone_cache.stats()
     }
 
     /// Serves one generation request.
@@ -227,7 +301,10 @@ impl SynCircuit {
         let reward: &dyn RewardModel = match (&self.discriminator, self.config.reward) {
             (Some(d), _) => d,
             (None, RewardKind::IncrementalCone) => {
-                incremental = crate::mcts::IncrementalConeReward::new();
+                // Worker view over the model-wide shared table: scratch
+                // stays request-local (thread-local in a batch fan-out),
+                // memoized cone areas are shared across all requests.
+                incremental = IncrementalConeReward::with_shared(self.cone_cache.clone());
                 &incremental
             }
             (None, _) => &exact,
@@ -259,9 +336,13 @@ impl SynCircuit {
     ///
     /// Results come back in request order and are **byte-identical** to
     /// calling [`SynCircuit::generate_one`] sequentially: per-request
-    /// seeds fix every random choice, and the Phase 3 zero-clone engine
-    /// shares no mutable state between searches (property-tested in
-    /// `tests/service_api.rs`).
+    /// seeds fix every random choice, the Phase 3 zero-clone engine
+    /// shares no mutable state between searches, and the one structure
+    /// workers *do* share — the lock-striped
+    /// [`SynCircuit::cone_cache`] — memoizes a pure function of cone
+    /// structure, so insertion order cannot influence any reward
+    /// (property-tested across worker counts in
+    /// `tests/shared_cache_equivalence.rs`).
     pub fn generate_batch(&self, requests: &[GenRequest]) -> Vec<Result<Generated, Error>> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -276,86 +357,11 @@ impl SynCircuit {
         requests: &[GenRequest],
         workers: usize,
     ) -> Vec<Result<Generated, Error>> {
-        if requests.is_empty() {
-            return Vec::new();
-        }
-        let workers = workers.clamp(1, requests.len());
-        if workers == 1 {
-            return requests.iter().map(|r| self.generate_one(r)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<Generated, Error>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= requests.len() {
-                        break;
-                    }
-                    let out = self.generate_one(&requests[k]);
-                    *slots[k].lock().expect("result slot poisoned") = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker filled every claimed slot")
-            })
-            .collect()
+        crate::par::parallel_map(requests.len(), workers, |k| {
+            self.generate_one(&requests[k])
+        })
     }
 
-    /// Generates one synthetic circuit with `n` nodes, sampling
-    /// attributes from `P(X)`, using the configured master seed.
-    #[deprecated(since = "0.2.0", note = "use `generate_one(&GenRequest::nodes(n))`")]
-    pub fn generate(&self, n: usize) -> Result<Generated, Error> {
-        self.generate_one(&GenRequest::nodes(n))
-    }
-
-    /// Generates one synthetic circuit with an explicit seed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `generate_one(&GenRequest::nodes(n).seeded(seed))`"
-    )]
-    pub fn generate_seeded(&self, n: usize, seed: u64) -> Result<Generated, Error> {
-        self.generate_one(&GenRequest::nodes(n).seeded(seed))
-    }
-
-    /// Generates conditioned on explicit node attributes.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `generate_one(&GenRequest::with_attrs(attrs).seeded(seed))`"
-    )]
-    pub fn generate_with_attrs(
-        &self,
-        node_attrs: &[Node],
-        seed: u64,
-    ) -> Result<Generated, Error> {
-        self.generate_one(&GenRequest::with_attrs(node_attrs.to_vec()).seeded(seed))
-    }
-
-    /// The "SynCircuit w/o diff" ablation: random edge probabilities with
-    /// the same Phase 2 post-processing (Table II row).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `generate_one(&GenRequest::nodes(n).seeded(seed).without_diffusion().optimize(false))`"
-    )]
-    pub fn generate_without_diffusion(
-        &self,
-        n: usize,
-        seed: u64,
-    ) -> Result<CircuitGraph, Error> {
-        self.generate_one(
-            &GenRequest::nodes(n)
-                .seeded(seed)
-                .without_diffusion()
-                .optimize(false),
-        )
-        .map(|g| g.graph)
-    }
 }
 
 #[cfg(test)]

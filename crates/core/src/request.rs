@@ -1,18 +1,29 @@
 //! The unified generation request and the streaming generator session.
 //!
-//! [`GenRequest`] subsumes every legacy `generate*` call shape — node
-//! count, explicit seed, explicit node attributes, and per-request
+//! [`GenRequest`] is the one request shape for every generation mode —
+//! node count, explicit seed, explicit node attributes, and per-request
 //! phase toggles — behind one value that can be run once
 //! ([`crate::SynCircuit::generate_one`]), streamed lazily
 //! ([`crate::SynCircuit::stream`] → [`Generator`]), or fanned out in
 //! parallel ([`crate::SynCircuit::generate_batch`]).
 //!
-//! | legacy call | request |
+//! The pre-0.2 `generate*` method family (one method per call shape)
+//! mapped onto requests as follows and was removed after its
+//! deprecation release; the mapping is kept for migrating old callers:
+//!
+//! | removed call | request |
 //! | --- | --- |
 //! | `generate(n)` | `GenRequest::nodes(n)` |
 //! | `generate_seeded(n, s)` | `GenRequest::nodes(n).seeded(s)` |
 //! | `generate_with_attrs(attrs, s)` | `GenRequest::with_attrs(attrs).seeded(s)` |
 //! | `generate_without_diffusion(n, s)` | `GenRequest::nodes(n).seeded(s).without_diffusion().optimize(false)` |
+//!
+//! Every request served through one model shares its lock-striped
+//! cone-synthesis cache ([`crate::SynCircuit::cone_cache`]): repeated
+//! cone structure across a stream or batch is synthesized once. The
+//! cache memoizes a pure function of cone structure, so results are
+//! byte-identical whether requests run sequentially, interleaved, or on
+//! concurrent workers.
 
 use crate::error::Error;
 use crate::pipeline::{Generated, SynCircuit};

@@ -1,8 +1,9 @@
 //! Acceptance tests for the service-ready generation API:
 //!
-//! 1. every legacy `generate*` call shape is expressible as a
-//!    [`GenRequest`] with **identical** output (the deprecated shims are
-//!    exercised here, and only here);
+//! 1. every request call shape produces the **recorded** output digest
+//!    (the byte-level expectations were captured when the deprecated
+//!    `generate*` shims were retired — the shapes keep serving exactly
+//!    the streams the shims served at removal time);
 //! 2. [`SynCircuit::generate_batch`] across ≥ 4 worker threads is
 //!    property-tested byte-identical to sequential per-seed runs;
 //! 3. save → load → [`SynCircuit::stream`] reproduces a byte-identical
@@ -14,6 +15,7 @@ use std::sync::OnceLock;
 use syncircuit_core::{
     GenRequest, Generated, PipelineConfig, RewardKind, SynCircuit,
 };
+use syncircuit_graph::fingerprint::{splitmix64, zobrist_fingerprint};
 use syncircuit_graph::testing::random_circuit_with_size;
 use syncircuit_graph::CircuitGraph;
 
@@ -61,61 +63,109 @@ fn assert_generated_identical(a: &Generated, b: &Generated) {
     }
 }
 
-// --- 1. legacy call shapes ⊂ GenRequest -------------------------------
+// --- 1. request shapes serve the recorded streams ----------------------
+//
+// These digests were captured from the legacy `generate*` shims at the
+// moment of their removal: each request shape must keep producing the
+// byte-identical output the corresponding shim produced. Regenerate
+// with
+//   cargo test --release -p syncircuit-core --test service_api \
+//     print_recorded_expectations -- --ignored --nocapture
+// and paste — any change here is a generation-stream break and needs a
+// changelog entry.
 
-#[test]
-#[allow(deprecated)]
-fn legacy_generate_equals_request() {
-    let m = model();
-    let legacy = m.generate(30).unwrap();
-    let unified = m.generate_one(&GenRequest::nodes(30)).unwrap();
-    assert_generated_identical(&legacy, &unified);
-}
-
-#[test]
-#[allow(deprecated)]
-fn legacy_generate_seeded_equals_request() {
-    let m = model();
-    for seed in [0u64, 5, 0xDEAD_BEEF] {
-        let legacy = m.generate_seeded(26, seed).unwrap();
-        let unified = m
-            .generate_one(&GenRequest::nodes(26).seeded(seed))
-            .unwrap();
-        assert_generated_identical(&legacy, &unified);
+/// Collapses every byte-relevant field of a [`Generated`] into one u64.
+fn digest(g: &Generated) -> u64 {
+    let mix = |h: u64, v: u64| splitmix64(h ^ v);
+    let mut h = splitmix64(0x5EAC_0FF5);
+    h = mix(h, zobrist_fingerprint(&g.graph));
+    h = mix(h, zobrist_fingerprint(&g.gval));
+    h = mix(h, g.gini_edges as u64);
+    h = mix(h, g.seed);
+    h = mix(h, g.mcts.len() as u64);
+    for o in &g.mcts {
+        h = mix(h, o.best_reward.to_bits());
+        h = mix(h, o.initial_reward.to_bits());
+        h = mix(h, o.evaluations as u64);
     }
+    h
 }
 
-#[test]
-#[allow(deprecated)]
-fn legacy_generate_with_attrs_equals_request() {
-    let m = model();
+/// The four canonical request shapes (one per retired shim), with the
+/// same sizes/seeds the shim-equivalence tests exercised.
+fn recorded_shapes() -> Vec<(&'static str, GenRequest)> {
     let mut rng = StdRng::seed_from_u64(42);
-    let attrs = m.attr_model().sample_attrs(24, &mut rng);
-    let legacy = m.generate_with_attrs(&attrs, 9).unwrap();
-    let unified = m
-        .generate_one(&GenRequest::with_attrs(attrs).seeded(9))
-        .unwrap();
-    assert_generated_identical(&legacy, &unified);
+    let attrs = model().attr_model().sample_attrs(24, &mut rng);
+    let mut shapes = vec![("generate(30)", GenRequest::nodes(30))];
+    for seed in [0u64, 5, 0xDEAD_BEEF] {
+        shapes.push(("generate_seeded(26, s)", GenRequest::nodes(26).seeded(seed)));
+    }
+    shapes.push((
+        "generate_with_attrs(attrs, 9)",
+        GenRequest::with_attrs(attrs).seeded(9),
+    ));
+    for seed in [1u64, 17] {
+        shapes.push((
+            "generate_without_diffusion(22, s)",
+            GenRequest::nodes(22)
+                .seeded(seed)
+                .without_diffusion()
+                .optimize(false),
+        ));
+    }
+    shapes
+}
+
+/// Expected digests for [`recorded_shapes`], in order.
+const RECORDED_DIGESTS: [u64; 7] = [
+    0xB1CD_90F6_9B94_3C57, // generate(30)
+    0xD20C_19C1_C9EB_F59D, // generate_seeded(26, 0)
+    0x618A_074B_A0DD_F2BE, // generate_seeded(26, 5)
+    0xD511_4218_28E4_8BC5, // generate_seeded(26, 0xDEAD_BEEF)
+    0xFF88_A347_306D_C8F3, // generate_with_attrs(attrs, 9)
+    0x5A7D_167B_099B_6602, // generate_without_diffusion(22, 1)
+    0x0D57_1C64_D015_5EDB, // generate_without_diffusion(22, 17)
+];
+
+#[test]
+fn request_shapes_match_recorded_expectations() {
+    let m = model();
+    for ((label, req), &want) in recorded_shapes().iter().zip(&RECORDED_DIGESTS) {
+        let got = digest(&m.generate_one(req).unwrap());
+        assert_eq!(
+            got, want,
+            "{label}: digest {got:#018X} != recorded {want:#018X} — \
+             the generation stream for this request shape drifted"
+        );
+    }
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_generate_without_diffusion_equals_request() {
+fn ablation_shape_still_skips_phases() {
+    let out = model()
+        .generate_one(
+            &GenRequest::nodes(22)
+                .seeded(1)
+                .without_diffusion()
+                .optimize(false),
+        )
+        .unwrap();
+    assert_eq!(out.gval, out.graph);
+    assert!(out.mcts.is_empty());
+    assert_eq!(out.gini_edges, 0, "Phase 1 skipped");
+}
+
+/// Regeneration helper: prints the `RECORDED_DIGESTS` block.
+#[test]
+#[ignore = "run manually to refresh RECORDED_DIGESTS"]
+fn print_recorded_expectations() {
     let m = model();
-    for seed in [1u64, 17] {
-        let legacy = m.generate_without_diffusion(22, seed).unwrap();
-        let unified = m
-            .generate_one(
-                &GenRequest::nodes(22)
-                    .seeded(seed)
-                    .without_diffusion()
-                    .optimize(false),
-            )
-            .unwrap();
-        assert_eq!(legacy, unified.graph, "ablation graphs must be identical");
-        assert_eq!(unified.gval, unified.graph);
-        assert!(unified.mcts.is_empty());
+    println!("const RECORDED_DIGESTS: [u64; {}] = [", recorded_shapes().len());
+    for (label, req) in recorded_shapes() {
+        let d = digest(&m.generate_one(&req).unwrap());
+        println!("    {d:#018X}, // {label}");
     }
+    println!("];");
 }
 
 // --- 2. parallel batch ≡ sequential -----------------------------------

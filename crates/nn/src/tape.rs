@@ -73,6 +73,31 @@ impl Gradients {
             self.scale(max_norm / n);
         }
     }
+
+    /// Adds `other`'s gradients elementwise into `self` (a parameter
+    /// missing on one side adopts the other side's matrix).
+    ///
+    /// Floating-point addition is not associative, so parallel trainers
+    /// that merge per-shard gradients must call this in a **fixed
+    /// order** to stay bit-deterministic (see the diffusion trainer in
+    /// the core crate).
+    pub fn accumulate(&mut self, other: &Gradients) {
+        if self.by_param.len() < other.by_param.len() {
+            self.by_param.resize(other.by_param.len(), None);
+        }
+        for (slot, o) in self.by_param.iter_mut().zip(&other.by_param) {
+            match (slot.as_mut(), o) {
+                (Some(a), Some(b)) => {
+                    debug_assert_eq!(a.shape(), b.shape(), "gradient shapes must agree");
+                    for (x, &y) in a.data_mut().iter_mut().zip(b.data()) {
+                        *x += y;
+                    }
+                }
+                (None, Some(b)) => *slot = Some(b.clone()),
+                _ => {}
+            }
+        }
+    }
 }
 
 /// A single forward computation: values plus the operation trace needed to
@@ -725,5 +750,26 @@ mod tests {
         let mut tape = Tape::new(&store);
         let v = tape.leaf(Matrix::zeros(2, 2));
         let _ = tape.backward(v);
+    }
+
+    #[test]
+    fn accumulate_merges_elementwise() {
+        let mut store = ParamStore::new();
+        let a = store.add(Matrix::full(1, 2, 2.0));
+        let b = store.add(Matrix::full(1, 2, 3.0));
+        let grads_for = |loss_on: ParamId| {
+            let mut tape = Tape::new(&store);
+            let v = tape.param(loss_on);
+            let sq = tape.hadamard(v, v);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss)
+        };
+        // d/dx sum(x^2) = 2x
+        let mut merged = grads_for(a); // grad only on `a`
+        let gb = grads_for(b); // grad only on `b`
+        merged.accumulate(&gb);
+        merged.accumulate(&grads_for(a)); // second shard touching `a`
+        assert_eq!(merged.get(a).unwrap().at(0, 0), 8.0);
+        assert_eq!(merged.get(b).unwrap().at(0, 0), 6.0);
     }
 }

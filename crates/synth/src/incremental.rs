@@ -1,4 +1,5 @@
-//! Dirty-cone incremental PCS evaluation (Phase 3 reward acceleration).
+//! Dirty-cone incremental PCS evaluation (Phase 3 reward acceleration)
+//! with a lock-striped, thread-shareable synthesis cache.
 //!
 //! The exact Phase-3 reward re-synthesizes the *whole design* for every
 //! candidate swap ([`crate::passes::optimize_with`]), although one
@@ -8,18 +9,32 @@
 //! for synthesis of cones whose fan-in actually changed under the swap
 //! (cache miss); every untouched cone is a hash lookup.
 //!
-//! Warm queries are **allocation-free**: the observability mask, the
-//! cone visited sets and member/boundary lists, and the cone-local id
-//! maps are all tag-stamped scratch buffers owned by the evaluator and
-//! reused across queries (cone extraction itself goes through the
-//! generalized [`syncircuit_graph::cone::fanin_cone_into`]). Standalone
-//! cone circuits are only materialized on cache misses.
+//! # Sharing the warm state across workers
+//!
+//! The memo table lives in [`SharedConeSynthCache`]: `SHARD_COUNT`-way
+//! lock-striped (shard chosen by the structural key's low bits, one
+//! `Mutex`-guarded map per shard), so concurrent workers — e.g. the
+//! threads of a `generate_batch` fan-out — deduplicate cone synthesis
+//! *between requests* instead of each re-synthesizing the same cones.
+//! Each worker owns a [`ConeSynthCache`] view: the shared table behind
+//! an `Arc`, plus private tag-stamped scratch (observability mask, cone
+//! visited sets, member/boundary lists, cone-local id maps), so warm
+//! queries stay **allocation-free** and never contend on anything but
+//! the per-shard locks. Two workers racing on the same cold key may
+//! both synthesize, but they insert the same bits (synthesis is a pure
+//! function of the key), so results are byte-identical to a sequential
+//! run regardless of scheduling; only the hit/miss counters are
+//! schedule-dependent.
+//!
+//! Standalone cone circuits are only materialized on cache misses, and
+//! synthesis runs *outside* the shard lock.
 //!
 //! The decomposed metric is deliberately *not* bit-identical to
 //! whole-design PCS — global CSE can merge logic across cones, which no
 //! cone-local scheme can observe — but it is deterministic,
-//! self-consistent (warm cache ≡ cold cache, property-tested), and
-//! preserves the two reward gradients Phase 3 needs (paper §VI):
+//! self-consistent (warm cache ≡ cold cache ≡ shared cache,
+//! property-tested), and preserves the two reward gradients Phase 3
+//! needs (paper §VI):
 //!
 //! - **cone collapse** — a register cone that folds to a constant
 //!   synthesizes to (near-)zero local area;
@@ -33,17 +48,31 @@
 use crate::area::CellLibrary;
 use crate::passes::optimized_area;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use syncircuit_graph::cone::{cone_circuit_parts, fanin_cone_into, ConeScratch};
 use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
 
-/// Cache hit/miss counters of a [`ConeSynthCache`].
+/// Aggregate cache hit/miss counters of a cone-synthesis cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConeCacheStats {
     /// Cone synthesis results served from the cache.
     pub hits: u64,
     /// Cone synthesis runs actually executed.
     pub misses: u64,
+}
+
+/// Per-shard counters of a [`SharedConeSynthCache`]
+/// ([`SharedConeSynthCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConeShardStats {
+    /// Cone synthesis results served from this shard.
+    pub hits: u64,
+    /// Cone synthesis runs this shard recorded as misses.
+    pub misses: u64,
+    /// Memoized cone entries currently stored in this shard.
+    pub entries: usize,
 }
 
 /// Tag-stamped scratch for the cone-key computation: host-id →
@@ -161,19 +190,169 @@ impl ObservedScratch {
     }
 }
 
-/// Memoizing per-cone synthesis evaluator.
+/// Default stripe count of a [`SharedConeSynthCache`].
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// One lock stripe: a mutex-guarded memo map plus lock-free counters.
+#[derive(Debug, Default)]
+struct Shard {
+    areas: Mutex<HashMap<u64, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Lock-striped, thread-shareable memo table of per-cone synthesis
+/// results.
+///
+/// Keys are structural cone fingerprints (a splitmix64 chain over
+/// boundary kinds, member attributes and cone-local wiring — already
+/// uniformly mixed), striped over power-of-two shards by their low
+/// bits. Values are a pure function of
+/// the key, so concurrent insertion races are benign: every racer
+/// computes identical bits, and `entry().or_insert()` keeps the first.
+///
+/// Workers never hold a shard lock while synthesizing — a miss releases
+/// the lock, synthesizes the cone standalone, and re-locks to publish.
+///
+/// The hit/miss counters can be disabled
+/// ([`SharedConeSynthCache::set_stats_enabled`]); they are pure
+/// telemetry and never influence the returned areas (tested in
+/// `stats_toggle_does_not_drift`).
+#[derive(Debug)]
+pub struct SharedConeSynthCache {
+    lib: CellLibrary,
+    shards: Box<[Shard]>,
+    mask: u64,
+    stats_enabled: AtomicBool,
+}
+
+impl Default for SharedConeSynthCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedConeSynthCache {
+    /// Shared cache with the default cell library and
+    /// [`DEFAULT_SHARD_COUNT`] stripes.
+    pub fn new() -> Self {
+        Self::with_library(CellLibrary::default())
+    }
+
+    /// Shared cache with an explicit cell library.
+    pub fn with_library(lib: CellLibrary) -> Self {
+        Self::with_shards(lib, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Shared cache with an explicit stripe count (rounded up to the
+    /// next power of two; `0` means [`DEFAULT_SHARD_COUNT`]).
+    pub fn with_shards(lib: CellLibrary, shards: usize) -> Self {
+        let count = match shards {
+            0 => DEFAULT_SHARD_COUNT,
+            n => n.next_power_of_two(),
+        };
+        SharedConeSynthCache {
+            lib,
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            mask: count as u64 - 1,
+            stats_enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cell library cone misses are synthesized against.
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// Enables or disables hit/miss counting (enabled by default).
+    /// Purely observational: the memoized areas are unaffected.
+    pub fn set_stats_enabled(&self, enabled: bool) {
+        self.stats_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Per-shard hit/miss/entry counters, in shard order.
+    ///
+    /// Under concurrency the counters are schedule-dependent (two
+    /// workers racing on one cold key may record two misses); the
+    /// memoized areas never are.
+    pub fn stats(&self) -> Vec<ConeShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ConeShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s.areas.lock().expect("cone shard poisoned").len(),
+            })
+            .collect()
+    }
+
+    /// Hit/miss counters summed over all shards.
+    pub fn total_stats(&self) -> ConeCacheStats {
+        let mut total = ConeCacheStats::default();
+        for s in self.shards.iter() {
+            total.hits += s.hits.load(Ordering::Relaxed);
+            total.misses += s.misses.load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Total memoized cone entries over all shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.areas.lock().expect("cone shard poisoned").len())
+            .sum()
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[(key & self.mask) as usize]
+    }
+
+    /// Memoized area for `key`, synthesizing with `synth` on a miss.
+    /// `synth` runs outside the shard lock.
+    fn area_or_insert(&self, key: u64, synth: impl FnOnce(&CellLibrary) -> f64) -> f64 {
+        let shard = self.shard(key);
+        if let Some(&a) = shard.areas.lock().expect("cone shard poisoned").get(&key) {
+            if self.stats_enabled.load(Ordering::Relaxed) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return a;
+        }
+        if self.stats_enabled.load(Ordering::Relaxed) {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let a = synth(&self.lib);
+        *shard
+            .areas
+            .lock()
+            .expect("cone shard poisoned")
+            .entry(key)
+            .or_insert(a)
+    }
+}
+
+/// Per-worker view of a [`SharedConeSynthCache`]: the shared memo table
+/// behind an `Arc` plus private tag-stamped scratch, so warm queries
+/// are allocation-free and scratch never crosses threads.
 ///
 /// Keys are structural fingerprints of the cone — hashed *in the host
 /// graph* (boundary kinds, member attributes, cone-local wiring), so a
 /// warm query never materializes a cone circuit; the standalone circuit
 /// is only built on a cache miss, to be synthesized. Identical cones —
-/// across queries, registers, or even designs — share one synthesis
-/// run.
+/// across queries, registers, requests, workers, or even designs —
+/// share one synthesis result.
+///
+/// A private evaluator ([`ConeSynthCache::new`]) owns a fresh shared
+/// table; fan-out callers clone one `Arc` into
+/// [`ConeSynthCache::with_shared`] per worker.
 #[derive(Debug)]
 pub struct ConeSynthCache {
-    lib: CellLibrary,
-    areas: HashMap<u64, f64>,
-    stats: ConeCacheStats,
+    shared: Arc<SharedConeSynthCache>,
     key: KeyScratch,
     cone: ConeScratch,
     observed: ObservedScratch,
@@ -186,33 +365,42 @@ impl Default for ConeSynthCache {
 }
 
 impl ConeSynthCache {
-    /// Evaluator with the default cell library.
+    /// Evaluator with the default cell library and a private table.
     pub fn new() -> Self {
-        Self::with_library(CellLibrary::default())
+        Self::with_shared(Arc::new(SharedConeSynthCache::new()))
     }
 
-    /// Evaluator with an explicit cell library.
+    /// Evaluator with an explicit cell library and a private table.
     pub fn with_library(lib: CellLibrary) -> Self {
+        Self::with_shared(Arc::new(SharedConeSynthCache::with_library(lib)))
+    }
+
+    /// Worker view over an existing shared table.
+    pub fn with_shared(shared: Arc<SharedConeSynthCache>) -> Self {
         ConeSynthCache {
-            lib,
-            areas: HashMap::new(),
-            stats: ConeCacheStats::default(),
+            shared,
             key: KeyScratch::default(),
             cone: ConeScratch::new(),
             observed: ObservedScratch::default(),
         }
     }
 
-    /// Cache statistics so far.
+    /// The shared memo table this view feeds.
+    pub fn shared(&self) -> &Arc<SharedConeSynthCache> {
+        &self.shared
+    }
+
+    /// Aggregate cache statistics of the underlying shared table.
     pub fn stats(&self) -> ConeCacheStats {
-        self.stats
+        self.shared.total_stats()
     }
 
     /// Incremental cone-decomposed PCS of `g` (larger ⇒ less redundancy).
     ///
     /// Deterministic in `g` alone: the cache only memoizes a pure
     /// function of cone structure, so a warm evaluator returns exactly
-    /// what a cold one would.
+    /// what a cold one would — and a shared evaluator exactly what a
+    /// private one would, regardless of what other workers inserted.
     pub fn pcs(&mut self, g: &CircuitGraph) -> f64 {
         let n = g.node_count();
         if n == 0 {
@@ -242,15 +430,10 @@ impl ConeSynthCache {
     fn cone_area(&mut self, g: &CircuitGraph, apex: NodeId) -> f64 {
         let (members, boundary) = fanin_cone_into(g, apex, &mut self.cone);
         let key = self.key.cone_key(g, boundary, members, apex);
-        if let Some(&a) = self.areas.get(&key) {
-            self.stats.hits += 1;
-            return a;
-        }
-        self.stats.misses += 1;
-        let circuit = cone_circuit_parts(g, apex, members, boundary).circuit;
-        let a = optimized_area(&circuit, &self.lib);
-        self.areas.insert(key, a);
-        a
+        self.shared.area_or_insert(key, |lib| {
+            let circuit = cone_circuit_parts(g, apex, members, boundary).circuit;
+            optimized_area(&circuit, lib)
+        })
     }
 }
 
@@ -383,5 +566,123 @@ mod tests {
         }
         let s = ev.stats();
         assert_eq!(s.misses, cold_misses, "only the cold queries synthesize");
+    }
+
+    #[test]
+    fn shared_views_match_private_evaluators() {
+        // Worker views over one shared table return exactly what private
+        // evaluators do, even when another view already warmed the key.
+        let (alive, dead) = alive_and_dead();
+        let mut private = ConeSynthCache::new();
+        let a0 = private.pcs(&alive);
+        let d0 = private.pcs(&dead);
+
+        let shared = Arc::new(SharedConeSynthCache::new());
+        let mut w1 = ConeSynthCache::with_shared(shared.clone());
+        let mut w2 = ConeSynthCache::with_shared(shared.clone());
+        assert_eq!(w1.pcs(&alive).to_bits(), a0.to_bits());
+        // w2 rides entirely on w1's entries …
+        let misses_before = shared.total_stats().misses;
+        assert_eq!(w2.pcs(&alive).to_bits(), a0.to_bits());
+        assert_eq!(shared.total_stats().misses, misses_before, "w2 is all hits");
+        // … and fresh keys still synthesize identically.
+        assert_eq!(w2.pcs(&dead).to_bits(), d0.to_bits());
+    }
+
+    #[test]
+    fn shard_striping_covers_multiple_shards() {
+        let shared = Arc::new(SharedConeSynthCache::with_shards(
+            CellLibrary::default(),
+            4,
+        ));
+        assert_eq!(shared.shard_count(), 4);
+        let mut ev = ConeSynthCache::with_shared(shared.clone());
+        // A handful of distinct cones lands entries across shards.
+        let mut rng_widths = [2u32, 4, 8, 16, 24, 32, 48, 64];
+        rng_widths.reverse();
+        for w in rng_widths {
+            let mut g = CircuitGraph::new("probe");
+            let i = g.add_node(NodeType::Input, w);
+            let r = g.add_node(NodeType::Reg, w);
+            let o = g.add_node(NodeType::Output, w);
+            g.set_parents(r, &[i]).unwrap();
+            g.set_parents(o, &[r]).unwrap();
+            ev.pcs(&g);
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.len(), 4);
+        let populated = stats.iter().filter(|s| s.entries > 0).count();
+        assert!(
+            populated >= 2,
+            "striping should spread 16 keys over shards: {stats:?}"
+        );
+        let entries: usize = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(entries, shared.entries());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(
+            SharedConeSynthCache::with_shards(CellLibrary::default(), 0).shard_count(),
+            DEFAULT_SHARD_COUNT
+        );
+        assert_eq!(
+            SharedConeSynthCache::with_shards(CellLibrary::default(), 3).shard_count(),
+            4
+        );
+        assert_eq!(
+            SharedConeSynthCache::with_shards(CellLibrary::default(), 8).shard_count(),
+            8
+        );
+    }
+
+    #[test]
+    fn stats_toggle_does_not_drift() {
+        let (alive, dead) = alive_and_dead();
+        let counted = Arc::new(SharedConeSynthCache::new());
+        let silent = Arc::new(SharedConeSynthCache::new());
+        silent.set_stats_enabled(false);
+        let mut a = ConeSynthCache::with_shared(counted.clone());
+        let mut b = ConeSynthCache::with_shared(silent.clone());
+        for g in [&alive, &dead, &alive] {
+            assert_eq!(a.pcs(g).to_bits(), b.pcs(g).to_bits());
+        }
+        assert!(counted.total_stats().hits + counted.total_stats().misses > 0);
+        assert_eq!(silent.total_stats(), ConeCacheStats::default());
+        assert_eq!(counted.entries(), silent.entries());
+    }
+
+    #[test]
+    fn concurrent_workers_agree_with_sequential() {
+        // Interleaved alive/dead queries over one shared table must
+        // reproduce the private evaluator bit-for-bit. 4 threads by
+        // default; the CI threaded-stress step raises the count via
+        // SYNCIRCUIT_STRESS_WORKERS.
+        let threads: usize = std::env::var("SYNCIRCUIT_STRESS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
+        let (alive, dead) = alive_and_dead();
+        let mut private = ConeSynthCache::new();
+        let a0 = private.pcs(&alive).to_bits();
+        let d0 = private.pcs(&dead).to_bits();
+        let shared = Arc::new(SharedConeSynthCache::with_shards(
+            CellLibrary::default(),
+            2, // few stripes: force contention
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut view = ConeSynthCache::with_shared(shared.clone());
+                    for _ in 0..50 {
+                        assert_eq!(view.pcs(&alive).to_bits(), a0);
+                        assert_eq!(view.pcs(&dead).to_bits(), d0);
+                    }
+                });
+            }
+        });
+        // All four distinct cone keys are memoized exactly once each in
+        // the table (raced duplicates collapse via or_insert).
+        assert!(shared.entries() >= 2);
     }
 }

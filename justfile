@@ -43,11 +43,28 @@ bench-all:
     cargo bench -p syncircuit-bench
 
 # two consecutive runs must produce identical output under fixed seeds
+# (redirect-then-sed, not a pipe, so a failing suite fails the recipe)
 determinism:
-    cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run1.txt
-    cargo test -q 2>&1 | sed -E 's/finished in [0-9.]+s//' > /tmp/syncircuit-run2.txt
+    cargo test -q > /tmp/syncircuit-run1.raw 2>&1
+    cargo test -q > /tmp/syncircuit-run2.raw 2>&1
+    sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-run1.raw > /tmp/syncircuit-run1.txt
+    sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-run2.raw > /tmp/syncircuit-run2.txt
     diff /tmp/syncircuit-run1.txt /tmp/syncircuit-run2.txt
     @echo "deterministic: two runs identical"
 
+# threaded stress: the concurrency equivalence battery again with
+# elevated worker counts (shared-cache batches, parallel fit, the synth
+# cache concurrency test), plus a second determinism diff under
+# --release — optimized codegen reorders nothing observable
+stress:
+    SYNCIRCUIT_STRESS_WORKERS=32 cargo test --release -q -p syncircuit-core --test shared_cache_equivalence
+    SYNCIRCUIT_STRESS_WORKERS=32 cargo test --release -q -p syncircuit-synth incremental
+    cargo test --release -q > /tmp/syncircuit-rel1.raw 2>&1
+    cargo test --release -q > /tmp/syncircuit-rel2.raw 2>&1
+    sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-rel1.raw > /tmp/syncircuit-rel1.txt
+    sed -E 's/finished in [0-9.]+s//' /tmp/syncircuit-rel2.raw > /tmp/syncircuit-rel2.txt
+    diff /tmp/syncircuit-rel1.txt /tmp/syncircuit-rel2.txt
+    @echo "release determinism: two runs identical"
+
 # everything CI checks, in CI order
-ci: build test lint doc example-smoke
+ci: build test lint doc example-smoke stress
