@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json bench-all determinism stress ci
+.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json perf-check bench-all determinism stress ci
 
 build:
 	cargo build --release
@@ -26,6 +26,9 @@ bench-smoke:
 bench-json:
 	BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
 	cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json BENCH_phase3.json
+
+perf-check:
+	cargo run --release -p syncircuit-bench --bin bench-json -- --check BENCH_phase3.json
 
 bench-all:
 	cargo bench -p syncircuit-bench

@@ -3,6 +3,7 @@
 //! synthesis pass, STA, orbit counting).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
 use syncircuit_core::{
@@ -35,8 +36,15 @@ fn bench_stats(c: &mut Criterion) {
     c.bench_function("structural_stats_tinyrocket", |b| {
         b.iter(|| StructuralStats::compute(black_box(&g)))
     });
+    let g = design("oc_fifo").expect("corpus design").graph;
+    c.bench_function("structural_stats_oc_fifo", |b| {
+        b.iter(|| StructuralStats::compute(black_box(&g)))
+    });
 }
 
+/// Reverse-diffusion sampling on the serving path: warm per-session
+/// [`SamplerScratch`] (what `Generator` streams and batch workers hold),
+/// at the historical 36-node size plus 2× and 4× scaling points.
 fn bench_diffusion_sample(c: &mut Criterion) {
     let corpus: Vec<_> = syncircuit_datasets::corpus()
         .into_iter()
@@ -46,14 +54,27 @@ fn bench_diffusion_sample(c: &mut Criterion) {
     let mut cfg = DiffusionConfig::tiny();
     cfg.epochs = 5;
     let model = DiffusionModel::train(&corpus, cfg, 1).expect("non-empty corpus");
+    let attr_model = syncircuit_core::AttrModel::fit(&corpus).expect("non-empty corpus");
     let attrs: Vec<_> = corpus[0].iter().map(|(_, n)| *n).collect();
+    let mut scratch = syncircuit_core::SamplerScratch::new();
     c.bench_function("diffusion_sample_36_nodes", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            model.sample(black_box(&attrs), seed)
+            model.sample_with(black_box(&attrs), seed, &mut scratch)
         })
     });
+    for scale in [72usize, 144] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(scale as u64);
+        let attrs = attr_model.sample_attrs(scale, &mut rng);
+        c.bench_function(&format!("diffusion_sample_{scale}_nodes"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                model.sample_with(black_box(&attrs), seed, &mut scratch)
+            })
+        });
+    }
 }
 
 fn bench_refine(c: &mut Criterion) {

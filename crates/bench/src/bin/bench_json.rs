@@ -1,18 +1,27 @@
 //! Merges one micro-bench run into the repo's machine-readable perf
-//! trajectory file (`BENCH_phase3.json`).
+//! trajectory file (`BENCH_phase3.json`), or audits it for regressions.
 //!
-//! Usage: `bench-json <current-run.json> <trajectory.json>`
+//! Usage:
 //!
-//! `<current-run.json>` is the flat `{"bench": mean_ns}` object the
-//! vendored criterion shim writes when `BENCH_JSON` is set. The
-//! trajectory file keeps a `baseline` section (seeded from the first
-//! recorded run and preserved afterwards — new benches are added to it
-//! on first sight), the freshest `current` section, and the derived
-//! `speedup` (baseline / current) per bench. `just bench-json` wires
-//! the two steps together.
+//! - `bench-json <current-run.json> <trajectory.json>` — merge mode.
+//!   `<current-run.json>` is the flat `{"bench": mean_ns}` object the
+//!   vendored criterion shim writes when `BENCH_JSON` is set. The
+//!   trajectory file keeps a `baseline` section (seeded from the first
+//!   recorded run and preserved afterwards — new benches are added to
+//!   it on first sight), the freshest `current` section, and the
+//!   derived `speedup` (baseline / current) per bench. `just
+//!   bench-json` wires the two steps together.
+//! - `bench-json --check <trajectory.json>` — perf gate (`just
+//!   perf-check`): fails when any previously-recorded benchmark's
+//!   `current` exceeds `1.3 ×` its recorded `baseline` (CI runs it
+//!   warn-only for now; single-core CI noise makes a hard gate
+//!   premature).
 
 use serde_json::Value;
 use std::process::ExitCode;
+
+/// A benchmark regresses when `current > baseline × REGRESSION_LIMIT`.
+const REGRESSION_LIMIT: f64 = 1.3;
 
 fn read_object(path: &str) -> Option<Vec<(String, Value)>> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -35,10 +44,57 @@ fn as_ns(v: &Value) -> Option<f64> {
     }
 }
 
+/// `--check` mode: compares every bench's `current` against its
+/// recorded `baseline` and fails on a >[`REGRESSION_LIMIT`]× slowdown.
+fn check(path: &str) -> ExitCode {
+    let Some(fields) = read_object(path) else {
+        eprintln!("error: {path} is not a JSON trajectory object");
+        return ExitCode::FAILURE;
+    };
+    let (Some(Value::Object(baseline)), Some(Value::Object(current))) =
+        (get(&fields, "baseline"), get(&fields, "current"))
+    else {
+        eprintln!("error: {path} lacks baseline/current sections");
+        return ExitCode::FAILURE;
+    };
+    let mut regressions = 0usize;
+    let mut audited = 0usize;
+    for (name, cur) in current {
+        let (Some(cur), Some(base)) = (as_ns(cur), get(baseline, name).and_then(as_ns)) else {
+            continue;
+        };
+        audited += 1;
+        if base > 0.0 && cur > base * REGRESSION_LIMIT {
+            regressions += 1;
+            eprintln!(
+                "REGRESSION {name}: {cur:.0} ns vs baseline {base:.0} ns ({:.2}x > {REGRESSION_LIMIT}x)",
+                cur / base
+            );
+        }
+    }
+    // A recorded bench that vanished from the run (renamed, deleted,
+    // crashed before reporting) must not silently pass the gate.
+    for (name, _) in baseline {
+        if get(current, name).and_then(as_ns).is_none() {
+            regressions += 1;
+            eprintln!("MISSING {name}: recorded in baseline but absent from the current run");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} perf-gate failure(s) across {audited} audited benchmarks (limit {REGRESSION_LIMIT}x)");
+        return ExitCode::FAILURE;
+    }
+    println!("perf-check: {audited} benchmarks within {REGRESSION_LIMIT}x of baseline");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--check" {
+        return check(&args[2]);
+    }
     if args.len() != 3 {
-        eprintln!("usage: bench-json <current-run.json> <trajectory.json>");
+        eprintln!("usage: bench-json <current-run.json> <trajectory.json> | --check <trajectory.json>");
         return ExitCode::FAILURE;
     }
     let Some(current) = read_object(&args[1]) else {

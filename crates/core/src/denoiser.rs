@@ -16,7 +16,7 @@ use crate::attrs::AttrModel;
 use rand::Rng;
 use syncircuit_nn::layers::{Linear, Mlp};
 use syncircuit_nn::sparse::RowNormAdj;
-use syncircuit_nn::{Matrix, ParamStore, Tape, Var};
+use syncircuit_nn::{Infer, InferScratch, Matrix, ParamStore, Tape, Var};
 use syncircuit_graph::Node;
 use std::rc::Rc;
 
@@ -133,6 +133,10 @@ impl Denoiser {
 
     /// Convenience: encode + decode + sigmoid, returning probabilities
     /// for each pair (no gradient use).
+    ///
+    /// Runs on the [`Tape`] — the reference path. The serving hot loop
+    /// uses [`Denoiser::predict_probs_into`] instead, which produces
+    /// bit-identical probabilities on the forward-only engine.
     pub fn predict_probs(
         &self,
         store: &ParamStore,
@@ -149,6 +153,141 @@ impl Denoiser {
         let logits = self.decode_pairs(&mut tape, h, pairs, t);
         let probs = tape.sigmoid(logits);
         tape.value(probs).data().to_vec()
+    }
+
+    /// Precomputes the three time-conditioned embeddings — `t_emb(t)`
+    /// for the encoder, `r(t)` and `d(t)` for the decoder — for every
+    /// step `t ∈ 0..=steps`. They depend only on `t` and the trained
+    /// parameters, so a sampler can look them up instead of re-running
+    /// three MLPs per step per request. Rows are computed on the
+    /// forward-only engine and are bit-identical to what the tape path
+    /// produces inside [`Denoiser::encode`] / [`Denoiser::decode_pairs`].
+    ///
+    /// The cache is a pure function of `(self, store)`: rebuild it
+    /// whenever the parameters change (training rebuilds it after the
+    /// last optimizer step; a loaded model builds it on restore).
+    pub fn build_time_cache(&self, store: &ParamStore) -> TimeEmbCache {
+        let mut scratch = InferScratch::new();
+        let mut cache = TimeEmbCache {
+            t_emb: Vec::with_capacity(self.steps + 1),
+            r: Vec::with_capacity(self.steps + 1),
+            d: Vec::with_capacity(self.steps + 1),
+        };
+        for t in 0..=self.steps {
+            let norm = t as f32 / self.steps.max(1) as f32;
+            let t_in = Matrix::from_vec(1, 1, vec![norm]);
+            let mut inf = Infer::new(store, &mut scratch);
+            let tv = inf.constant(&t_in);
+            let e = self.time_proj.forward_infer(&mut inf, tv);
+            let r = self.relation.forward_infer(&mut inf, tv);
+            let d = self.time_dec.forward_infer(&mut inf, tv);
+            cache.t_emb.push(inf.value(e).clone());
+            cache.r.push(inf.value(r).clone());
+            cache.d.push(inf.value(d).clone());
+        }
+        cache
+    }
+
+    /// Encode + decode + sigmoid on the forward-only inference engine,
+    /// writing the per-pair probabilities into `out` (cleared first).
+    ///
+    /// Bit-identical to [`Denoiser::predict_probs`] for the same inputs
+    /// (property-tested in `tests/infer_equivalence.rs`): every op
+    /// replicates the tape op's arithmetic, the cached time embeddings
+    /// equal the per-pass MLP outputs, and the broadcast `add_row` plus
+    /// the fused decoder-input build perform the same scalar operations
+    /// as the tape's gather-then-combine sequence.
+    ///
+    /// Warm-path allocation-free: intermediates live in `scratch`,
+    /// `features` and `noisy_adj` are borrowed, and the index buffers
+    /// are reused across calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_probs_into(
+        &self,
+        store: &ParamStore,
+        features: &Matrix,
+        noisy_adj: &RowNormAdj,
+        pairs: &[(u32, u32)],
+        t: usize,
+        cache: &TimeEmbCache,
+        scratch: &mut DenoiserScratch,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if pairs.is_empty() {
+            return;
+        }
+        let mut inf = Infer::new(store, &mut scratch.infer);
+        // Encoder (same op sequence as `encode`, time MLP from cache).
+        let x = inf.constant(features);
+        let mut h = self.feat_proj.forward_infer(&mut inf, x);
+        let temb = inf.constant(&cache.t_emb[t]);
+        h = inf.add_row(h, temb);
+        h = inf.relu(h);
+        for layer in &self.layers {
+            let self_term = layer.w_h.forward_infer(&mut inf, h);
+            let msg = layer.w_m.forward_infer(&mut inf, h);
+            let agg = inf.spmm_mean(noisy_adj, msg);
+            let sum = inf.add(self_term, agg);
+            h = inf.relu(sum);
+        }
+        // Decoder: the tape's gather → add_row → hadamard →
+        // concat chain, fused into one pass that writes the head input
+        // `[(H_i + r(t)) ⊙ H_j | d(t)]` row by row — the same scalar
+        // operations per element, so bit-identical, without the five
+        // K×hidden intermediates.
+        {
+            let hval = inf.value(h);
+            let r = cache.r[t].data();
+            let d = cache.d[t].data();
+            let hc = hval.cols();
+            scratch.cat.reset_shape_any(pairs.len(), 2 * hc);
+            for (row, &(i, j)) in scratch
+                .cat
+                .data_mut()
+                .chunks_exact_mut(2 * hc)
+                .zip(pairs)
+            {
+                let hi = hval.row(i as usize);
+                let hj = hval.row(j as usize);
+                let (prod, time) = row.split_at_mut(hc);
+                for ((p, (&a, &b)), &rr) in prod.iter_mut().zip(hi.iter().zip(hj)).zip(r) {
+                    *p = (a + rr) * b;
+                }
+                time.copy_from_slice(d);
+            }
+        }
+        let cat = inf.constant(&scratch.cat);
+        let logits = self.head.forward_infer(&mut inf, cat);
+        let probs = inf.sigmoid(logits);
+        out.extend_from_slice(inf.value(probs).data());
+    }
+}
+
+/// Cached time-conditioned embeddings of one trained denoiser: row `t`
+/// holds `t_emb(t)`, `r(t)` and `d(t)` for `t ∈ 0..=steps` (see
+/// [`Denoiser::build_time_cache`]).
+#[derive(Clone, Debug)]
+pub struct TimeEmbCache {
+    t_emb: Vec<Matrix>,
+    r: Vec<Matrix>,
+    d: Vec<Matrix>,
+}
+
+/// Reusable buffers for [`Denoiser::predict_probs_into`]: the inference
+/// arena plus the fused decoder-input matrix. One scratch serves any
+/// sequence of requests (shapes may differ between calls; every op
+/// fully overwrites its output, so no stale state carries over).
+#[derive(Debug, Default)]
+pub struct DenoiserScratch {
+    infer: InferScratch,
+    cat: Matrix,
+}
+
+impl DenoiserScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

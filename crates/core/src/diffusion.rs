@@ -15,13 +15,16 @@
 //! idea the paper cites). [`DecodeMode::Dense`] scores every pair and is
 //! the reference implementation used in tests.
 
-use crate::denoiser::{adjacency_operator, feature_matrix, Denoiser};
+use crate::denoiser::{
+    adjacency_operator, feature_matrix, Denoiser, DenoiserScratch, TimeEmbCache,
+};
 use crate::error::Error;
 use crate::schedule::NoiseSchedule;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
 use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, Node, NodeType};
+use syncircuit_nn::sparse::RowNormAdj;
 use syncircuit_nn::{Adam, Gradients, Matrix, ParamStore, Tape};
 
 /// Edge-decoding strategy during training and sampling.
@@ -116,9 +119,14 @@ pub struct SampledGraph {
 }
 
 /// Sparse edge-probability matrix with a default for unscored pairs.
+///
+/// Keyed through a cheap multiply-xor hasher — the sampler records one
+/// entry per candidate pair per step, and every read is key-addressed
+/// or explicitly sorted ([`EdgeProbs::candidates_for`]), so map order
+/// never reaches the output bytes.
 #[derive(Clone, Debug)]
 pub struct EdgeProbs {
-    map: HashMap<(u32, u32), f32>,
+    map: HashMap<(u32, u32), f32, crate::hash::FxBuildHasher>,
     default: f32,
 }
 
@@ -127,7 +135,7 @@ impl EdgeProbs {
     /// unscored pairs.
     pub fn new(default: f32) -> Self {
         EdgeProbs {
-            map: HashMap::new(),
+            map: HashMap::default(),
             default,
         }
     }
@@ -135,6 +143,12 @@ impl EdgeProbs {
     /// Probability of the directed edge `from → to`.
     pub fn get(&self, from: u32, to: u32) -> f32 {
         self.map.get(&(from, to)).copied().unwrap_or(self.default)
+    }
+
+    /// Pre-sizes the table for `n` additional pairs (allocation hoist
+    /// for bulk recording; never observable in the contents).
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.map.reserve(n);
     }
 
     /// Records a probability (keeps the maximum on repeat inserts, so
@@ -188,6 +202,77 @@ pub struct DiffusionModel {
     pub(crate) config: DiffusionConfig,
     /// Mean out-degree of the training corpus (noise-density prior).
     pub(crate) mean_degree: f64,
+    /// Precomputed `t_emb(t)` / `r(t)` / `d(t)` rows for every step —
+    /// a pure function of the trained parameters, rebuilt whenever a
+    /// model is assembled (end of training or artifact restore), which
+    /// is the only time parameters can change.
+    pub(crate) time_cache: TimeEmbCache,
+}
+
+/// Reusable buffers for [`DiffusionModel::sample_with`]: the denoiser
+/// inference scratch, the CSR adjacency rebuilt in place each step, the
+/// parent/pair/probability vectors, and the epoch-stamped per-node sets
+/// that replace the per-step hash sets. One scratch serves any sequence
+/// of requests of any size; reuse never changes sampled bytes
+/// (property-tested in `tests/infer_equivalence.rs`).
+#[derive(Debug, Default)]
+pub struct SamplerScratch {
+    den: DenoiserScratch,
+    adj: RowNormAdj,
+    current: Vec<Vec<u32>>,
+    next: Vec<Vec<u32>>,
+    pairs: Vec<(u32, u32)>,
+    p0: Vec<f32>,
+    rec_by_dst: Vec<Vec<(u32, f32)>>,
+    rec_slot: Vec<f32>,
+    rec_touched: Vec<u32>,
+    stamps: NodeStamps,
+    reg_mask: Vec<bool>,
+}
+
+impl SamplerScratch {
+    /// Empty scratch; buffers grow to the request size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Epoch-stamped per-node membership set (the `ConeScratch` trick):
+/// `begin` bumps the epoch instead of clearing, so membership resets in
+/// O(1) and the backing vector is reused across steps and requests.
+#[derive(Debug, Default)]
+struct NodeStamps {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl NodeStamps {
+    /// Starts a fresh empty set over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Inserts `i`, returning `true` when it was not yet present.
+    fn insert(&mut self, i: u32) -> bool {
+        let slot = &mut self.stamp[i as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.stamp[i as usize] == self.epoch
+    }
 }
 
 /// Per-graph data pre-extracted once before the epoch loop.
@@ -321,12 +406,28 @@ impl DiffusionModel {
             }
         }
 
-        Ok(DiffusionModel {
+        Ok(DiffusionModel::assemble(store, denoiser, config, mean_degree))
+    }
+
+    /// Final assembly shared by training and artifact restore: builds
+    /// the per-model time-embedding cache from the (now final)
+    /// parameters. Parameters never change after assembly, so the cache
+    /// cannot go stale — a re-`fit` produces a new model and with it a
+    /// fresh cache.
+    pub(crate) fn assemble(
+        store: ParamStore,
+        denoiser: Denoiser,
+        config: DiffusionConfig,
+        mean_degree: f64,
+    ) -> Self {
+        let time_cache = denoiser.build_time_cache(&store);
+        DiffusionModel {
             store,
             denoiser,
             config,
             mean_degree,
-        })
+            time_cache,
+        }
     }
 
     /// Configured hyper-parameters.
@@ -346,7 +447,178 @@ impl DiffusionModel {
 
     /// Runs the reverse denoising process conditioned on node attributes,
     /// producing `G_ini` and `P_E^{(0)}`.
+    ///
+    /// One-shot convenience over [`DiffusionModel::sample_with`]: a
+    /// private scratch amortizes all per-step buffers over the steps of
+    /// this call. Long-lived callers (streams, batch workers) hold a
+    /// [`SamplerScratch`] and amortize across requests too.
     pub fn sample(&self, attrs: &[Node], seed: u64) -> SampledGraph {
+        self.sample_with(attrs, seed, &mut SamplerScratch::new())
+    }
+
+    /// [`DiffusionModel::sample`] with caller-owned scratch buffers —
+    /// the serving hot path.
+    ///
+    /// The reverse loop runs entirely on the forward-only inference
+    /// engine with the per-model time-embedding cache; the per-step
+    /// hash sets of the original implementation are epoch-stamped
+    /// per-node sets, the CSR adjacency is rebuilt in place, and the
+    /// feature matrix is built once per call. Output bytes are
+    /// **identical** to [`DiffusionModel::sample_via_tape`] for every
+    /// `(attrs, seed)` — same RNG draw sequence, bit-equal
+    /// probabilities — regardless of whether `scratch` is cold or was
+    /// used by any other request before (property-tested in
+    /// `tests/infer_equivalence.rs`).
+    pub fn sample_with(
+        &self,
+        attrs: &[Node],
+        seed: u64,
+        scratch: &mut SamplerScratch,
+    ) -> SampledGraph {
+        let n = attrs.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = (self.mean_degree / n.max(2) as f64).clamp(1e-4, 0.5);
+        let schedule = NoiseSchedule::cosine(self.config.steps, pi);
+        let feats = feature_matrix(attrs);
+        scratch.reg_mask.clear();
+        scratch
+            .reg_mask
+            .extend(attrs.iter().map(|a| a.ty() == NodeType::Reg));
+
+        // A_T ~ Bernoulli(π) per ordered pair (self-pairs only for regs).
+        reset_buckets(&mut scratch.current, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i == j && !scratch.reg_mask[j] {
+                    continue;
+                }
+                if rng.gen_bool(pi) {
+                    scratch.current[j].push(i as u32);
+                }
+            }
+        }
+
+        reset_buckets(&mut scratch.rec_by_dst, n);
+        for t in (1..=self.config.steps).rev() {
+            candidate_pairs_into(
+                self.config.decode,
+                &scratch.current,
+                n,
+                &scratch.reg_mask,
+                &mut rng,
+                &mut scratch.stamps,
+                &mut scratch.pairs,
+            );
+            if scratch.pairs.is_empty() {
+                continue;
+            }
+            scratch.adj.rebuild_from_parents(&scratch.current);
+            self.denoiser.predict_probs_into(
+                &self.store,
+                &feats,
+                &scratch.adj,
+                &scratch.pairs,
+                t,
+                &self.time_cache,
+                &mut scratch.den,
+                &mut scratch.p0,
+            );
+
+            // The two-state posterior depends only on `(t, a_t, a_0)` —
+            // hoist all four values out of the pair loop;
+            // `posterior_prob` is then the same two multiplies per pair
+            // (bit-identical to calling it directly).
+            let post = [
+                [
+                    schedule.posterior_given_a0(t, false, false),
+                    schedule.posterior_given_a0(t, false, true),
+                ],
+                [
+                    schedule.posterior_given_a0(t, true, false),
+                    schedule.posterior_given_a0(t, true, true),
+                ],
+            ];
+
+            // Candidate pairs are grouped by destination `j` (both
+            // decode modes emit them that way), so current-edge lookup
+            // for posterior conditioning stamps one parent list per
+            // group instead of building an edge hash set.
+            reset_buckets(&mut scratch.next, n);
+            let mut group_j = u32::MAX;
+            for (k, &(i, j)) in scratch.pairs.iter().enumerate() {
+                if j != group_j {
+                    debug_assert!(group_j == u32::MAX || j > group_j, "pairs must stay grouped");
+                    scratch.stamps.begin(n);
+                    for &p in &scratch.current[j as usize] {
+                        scratch.stamps.insert(p);
+                    }
+                    group_j = j;
+                }
+                let a_t = scratch.stamps.contains(i);
+                let p0_k = scratch.p0[k];
+                let p0 = (p0_k as f64).clamp(0.0, 1.0);
+                let p_prev = p0 * post[a_t as usize][1] + (1.0 - p0) * post[a_t as usize][0];
+                if rng.gen_bool(p_prev.clamp(0.0, 1.0)) {
+                    scratch.next[j as usize].push(i);
+                }
+                if t == 1 {
+                    scratch.rec_by_dst[j as usize].push((i, p0_k));
+                } else {
+                    // keep intermediate evidence as a fallback prior
+                    scratch.rec_by_dst[j as usize].push((i, p0_k * 0.5));
+                }
+            }
+            for ps in scratch.next.iter_mut() {
+                ps.sort_unstable();
+                ps.dedup();
+            }
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+        }
+
+        // Deferred probability consolidation: `record` keeps the maximum
+        // over repeat sightings, and max is order-insensitive, so
+        // folding the per-destination record logs through an
+        // epoch-stamped slot array and bulk-inserting with reserved
+        // capacity yields exactly the map the per-pair `record` calls
+        // build — without growing a hash table inside the hot loop.
+        let mut probs = EdgeProbs::new((pi * 0.5) as f32);
+        probs.reserve(scratch.rec_by_dst.iter().map(Vec::len).sum());
+        if scratch.rec_slot.len() < n {
+            scratch.rec_slot.resize(n, 0.0);
+        }
+        for (j, bucket) in scratch.rec_by_dst.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            scratch.stamps.begin(n);
+            scratch.rec_touched.clear();
+            for &(i, p) in bucket {
+                let slot = &mut scratch.rec_slot[i as usize];
+                if scratch.stamps.insert(i) {
+                    *slot = p;
+                    scratch.rec_touched.push(i);
+                } else {
+                    *slot = slot.max(p);
+                }
+            }
+            for &i in &scratch.rec_touched {
+                probs.record(i, j as u32, scratch.rec_slot[i as usize]);
+            }
+        }
+
+        SampledGraph {
+            parents: scratch.current.clone(),
+            probs,
+        }
+    }
+
+    /// The original tape-based reverse-diffusion loop, kept verbatim as
+    /// the **oracle** for the inference engine: per step it re-runs the
+    /// full autodiff tape, clones the feature matrix, and rebuilds hash
+    /// sets — byte-equality of [`DiffusionModel::sample_with`] against
+    /// this path at every seed/config is what the `infer_equivalence`
+    /// property suite asserts.
+    pub fn sample_via_tape(&self, attrs: &[Node], seed: u64) -> SampledGraph {
         let n = attrs.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let pi = (self.mean_degree / n.max(2) as f64).clamp(1e-4, 0.5);
@@ -455,6 +727,70 @@ impl DiffusionModel {
             }
         }
         pairs
+    }
+}
+
+/// Clears `lists` to `n` empty buckets, keeping every inner allocation
+/// for reuse.
+fn reset_buckets<T>(lists: &mut Vec<Vec<T>>, n: usize) {
+    if lists.len() > n {
+        lists.truncate(n);
+    }
+    for l in lists.iter_mut() {
+        l.clear();
+    }
+    while lists.len() < n {
+        lists.push(Vec::new());
+    }
+}
+
+/// Scratch-buffer variant of [`DiffusionModel::candidate_pairs`]: same
+/// pair order and same RNG draw sequence, but the dedup set is an
+/// epoch-stamped per-node set (candidates are grouped by destination
+/// `j`, so dedup only ever needs the sources of the current group) and
+/// the output vector is reused.
+fn candidate_pairs_into(
+    decode: DecodeMode,
+    current: &[Vec<u32>],
+    n: usize,
+    reg_mask: &[bool],
+    rng: &mut StdRng,
+    stamps: &mut NodeStamps,
+    pairs: &mut Vec<(u32, u32)>,
+) {
+    pairs.clear();
+    match decode {
+        DecodeMode::Dense => {
+            for (j, &j_is_reg) in reg_mask.iter().enumerate() {
+                for i in 0..n {
+                    if i == j && !j_is_reg {
+                        continue;
+                    }
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        DecodeMode::Sparse {
+            candidates_per_node,
+        } => {
+            for (j, ps) in current.iter().enumerate() {
+                stamps.begin(n);
+                for &i in ps {
+                    if stamps.insert(i) {
+                        pairs.push((i, j as u32));
+                    }
+                }
+                for _ in 0..candidates_per_node {
+                    let i = rng.gen_range(0..n as u32);
+                    if i as usize == j && !reg_mask[j] {
+                        continue;
+                    }
+                    if stamps.insert(i) {
+                        pairs.push((i, j as u32));
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -47,6 +47,7 @@
 
 pub mod attrs;
 pub mod config;
+mod hash;
 mod par;
 pub mod denoiser;
 pub mod diffusion;
@@ -61,7 +62,9 @@ pub mod schedule;
 
 pub use attrs::AttrModel;
 pub use config::{ConfigError, PipelineConfig, PipelineConfigBuilder, RewardKind};
-pub use diffusion::{DecodeMode, DiffusionConfig, DiffusionModel, EdgeProbs, SampledGraph};
+pub use diffusion::{
+    DecodeMode, DiffusionConfig, DiffusionModel, EdgeProbs, SampledGraph, SamplerScratch,
+};
 pub use discriminator::PcsDiscriminator;
 pub use error::{Error, PersistError, RequestError};
 pub use mcts::{

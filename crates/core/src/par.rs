@@ -23,20 +23,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, workers, || (), |(), k| f(k))
+}
+
+/// [`parallel_map`] with per-worker mutable state: every worker (or the
+/// inline path) builds one `state` via `init` and threads it through
+/// all the indices it claims. The state is for **reusable scratch
+/// buffers only** — `f`'s *result* must stay a pure function of the
+/// index, or the parallel run diverges from the sequential one (claim
+/// order is racy by design; only result order is fixed).
+pub(crate) fn parallel_map_with<S, T, I, F>(n: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|k| f(&mut state, k)).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                if k >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    *slots[k].lock().expect("result slot poisoned") = Some(f(&mut state, k));
                 }
-                *slots[k].lock().expect("result slot poisoned") = Some(f(k));
             });
         }
     });

@@ -171,12 +171,7 @@ impl Deserialize for DiffusionModel {
                 "{SHAPE_MISMATCH_MARK}diffusion parameters do not match the configured denoiser architecture"
             )));
         }
-        Ok(DiffusionModel {
-            store,
-            denoiser,
-            config,
-            mean_degree,
-        })
+        Ok(DiffusionModel::assemble(store, denoiser, config, mean_degree))
     }
 }
 

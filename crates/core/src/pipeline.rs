@@ -29,7 +29,7 @@
 
 use crate::attrs::AttrModel;
 use crate::config::{PipelineConfig, RewardKind};
-use crate::diffusion::DiffusionModel;
+use crate::diffusion::{DiffusionModel, SamplerScratch};
 use crate::discriminator::PcsDiscriminator;
 use crate::error::{Error, RequestError};
 use crate::mcts::{
@@ -229,14 +229,28 @@ impl SynCircuit {
         self.generate_resolved(request, seed)
     }
 
-    /// [`SynCircuit::generate_one`] with the seed already resolved —
-    /// the shared entry point for one-shot calls and [`Generator`]
-    /// streams (which substitute their own per-item seeds without
-    /// cloning the request).
+    /// [`SynCircuit::generate_resolved_with`] with a fresh per-call
+    /// scratch (the one-shot path: buffers still amortize over the
+    /// diffusion steps within the call).
     pub(crate) fn generate_resolved(
         &self,
         request: &GenRequest,
         seed: u64,
+    ) -> Result<Generated, Error> {
+        self.generate_resolved_with(request, seed, &mut SamplerScratch::new())
+    }
+
+    /// [`SynCircuit::generate_one`] with the seed already resolved and
+    /// caller-owned sampler scratch — the shared entry point for
+    /// one-shot calls, [`Generator`] streams (which own a scratch and
+    /// substitute per-item seeds without cloning the request), and
+    /// `generate_batch` workers (one scratch per worker thread).
+    /// Scratch reuse never changes generated bytes.
+    pub(crate) fn generate_resolved_with(
+        &self,
+        request: &GenRequest,
+        seed: u64,
+        scratch: &mut SamplerScratch,
     ) -> Result<Generated, Error> {
         if matches!(request.attrs(), Some(a) if a.is_empty()) {
             return Err(RequestError::EmptyAttrs.into());
@@ -263,7 +277,9 @@ impl SynCircuit {
 
         let (gval, gini_edges) = if request.phases().diffusion {
             // Phase 1: reverse diffusion.
-            let sampled = self.diffusion.sample(node_attrs, seed.wrapping_add(1));
+            let sampled = self
+                .diffusion
+                .sample_with(node_attrs, seed.wrapping_add(1), scratch);
             let gini_edges = sampled.parents.iter().map(Vec::len).sum();
             // Phase 2: probability-guided validity refinement.
             let mut gval = refine(
@@ -352,16 +368,21 @@ impl SynCircuit {
 
     /// [`SynCircuit::generate_batch`] with an explicit worker count
     /// (clamped to `1..=requests.len()`).
+    ///
+    /// Each worker thread owns one [`SamplerScratch`] reused across
+    /// every request it claims; scratch reuse is invisible in the
+    /// output bytes (claim order is racy, results are pure per index).
     pub fn generate_batch_with(
         &self,
         requests: &[GenRequest],
         workers: usize,
     ) -> Vec<Result<Generated, Error>> {
-        crate::par::parallel_map(requests.len(), workers, |k| {
-            self.generate_one(&requests[k])
+        crate::par::parallel_map_with(requests.len(), workers, SamplerScratch::new, |scratch, k| {
+            let request = &requests[k];
+            let seed = request.seed().unwrap_or(self.config.seed);
+            self.generate_resolved_with(request, seed, scratch)
         })
     }
-
 }
 
 #[cfg(test)]

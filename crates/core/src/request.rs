@@ -25,6 +25,7 @@
 //! byte-identical whether requests run sequentially, interleaved, or on
 //! concurrent workers.
 
+use crate::diffusion::SamplerScratch;
 use crate::error::Error;
 use crate::pipeline::{Generated, SynCircuit};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -147,6 +148,10 @@ pub struct Generator<'m> {
     base_seed: u64,
     rng: StdRng,
     produced: u64,
+    /// Session-owned sampler buffers: the diffusion hot loop of every
+    /// item this stream yields reuses one warm scratch (reuse never
+    /// changes generated bytes).
+    scratch: SamplerScratch,
 }
 
 /// Domain-separation salt for the per-item seed stream.
@@ -161,6 +166,7 @@ impl<'m> Generator<'m> {
             base_seed,
             rng: StdRng::seed_from_u64(base_seed ^ STREAM_SALT),
             produced: 0,
+            scratch: SamplerScratch::new(),
         }
     }
 
@@ -185,7 +191,10 @@ impl Iterator for Generator<'_> {
             self.rng.gen::<u64>()
         };
         self.produced += 1;
-        Some(self.model.generate_resolved(&self.request, seed))
+        Some(
+            self.model
+                .generate_resolved_with(&self.request, seed, &mut self.scratch),
+        )
     }
 }
 

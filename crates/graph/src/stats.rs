@@ -151,10 +151,316 @@ pub const NUM_ORBITS: usize = 15;
 /// | diamond | 12 (deg 2), 13 (deg 3) |
 /// | 4-clique | 14 |
 ///
-/// Counting enumerates each connected *induced* subgraph exactly once via
-/// the ESU algorithm; complexity grows with the number of connected
-/// 4-subgraphs (hub nodes of degree d contribute Θ(d³) 3-stars).
+/// Counting is **combinatorial** (the ORCA idea): triangles, diamonds
+/// and 4-cliques are enumerated from per-edge common-neighbor
+/// intersections over the sorted adjacency, and the remaining orbits
+/// (paths, stars, the 4-cycle) are recovered from closed-form
+/// non-induced counts minus the already-known denser orbits. No
+/// explicit subgraph enumeration of the sparse graphlets happens — in
+/// particular the Θ(d³) hub-star blowup of the former ESU enumeration
+/// (kept as [`orbit_counts_esu`], the test oracle) is gone; the new
+/// counts are property-tested equal to ESU's.
 pub fn orbit_counts(skel: &Skeleton) -> Vec<[u64; NUM_ORBITS]> {
+    let n = skel.len();
+    let mut counts = vec![[0u64; NUM_ORBITS]; n];
+    if n == 0 {
+        return counts;
+    }
+
+    // Per-edge triangle counts t(u,v) = |N(u) ∩ N(v)|, aligned with the
+    // adjacency lists (computed per direction for index-free lookup).
+    let tri: Vec<Vec<u32>> = (0..n)
+        .map(|u| {
+            skel.neighbors(u)
+                .iter()
+                .map(|&v| intersect_count(skel.neighbors(u), skel.neighbors(v as usize)))
+                .collect()
+        })
+        .collect();
+
+    // Per-node: degree (orbit 0), triangles (orbit 3), induced P3 ends
+    // and middles (orbits 1/2) by the wedge identities.
+    let deg = |u: usize| skel.degree(u) as i64;
+    let mut t_node = vec![0i64; n];
+    for u in 0..n {
+        t_node[u] = tri[u].iter().map(|&t| t as i64).sum::<i64>() / 2;
+    }
+    for u in 0..n {
+        counts[u][0] = deg(u) as u64;
+        counts[u][3] = t_node[u] as u64;
+        counts[u][2] = (choose2(deg(u)) - t_node[u]) as u64;
+        let ends: i64 = skel
+            .neighbors(u)
+            .iter()
+            .map(|&v| deg(v as usize) - 1)
+            .sum::<i64>()
+            - 2 * t_node[u];
+        counts[u][1] = ends as u64;
+    }
+
+    // Dense orbits (9..=14) by direct enumeration over edges/triangles
+    // with epoch-stamped neighbor marks; k4e(u,v) = #K4s through the
+    // edge is accumulated per node for orbit 14.
+    let mut o9 = vec![0i64; n];
+    let mut o10 = vec![0i64; n];
+    let mut o11 = vec![0i64; n];
+    let mut o12 = vec![0i64; n];
+    let mut o13 = vec![0i64; n];
+    let mut k4_sum = vec![0i64; n];
+    let mut common: Vec<u32> = Vec::new(); // C = common neighbors of (u,v)
+    let mut mark_u = Marks::new(n); // x ∈ N(u)
+    let mut mark_v = Marks::new(n); // x ∈ N(v)
+    let mut mark_w = Marks::new(n); // x ∈ N(w)
+    for u in 0..n {
+        for &v32 in skel.neighbors(u) {
+            let v = v32 as usize;
+            if v <= u {
+                continue;
+            }
+            // C sorted (merge of two sorted lists).
+            intersect_into(skel.neighbors(u), skel.neighbors(v), &mut common);
+            let c_len = common.len() as i64;
+
+            // Diamonds with chord (u,v) and K4s through (u,v): pairs of
+            // common neighbors, split by their own adjacency.
+            let mut adj_pairs = 0i64; // Σ_w |N(w) ∩ C|, = 2·k4e(u,v)
+            for &w32 in &common {
+                let w = w32 as usize;
+                let a_w = intersect_count(skel.neighbors(w), &common) as i64;
+                adj_pairs += a_w;
+                // non-adjacent partners x ∈ C: diamond {u,v,w,x}, w deg-2
+                o12[w] += c_len - 1 - a_w;
+            }
+            let k4e = adj_pairs / 2;
+            let chord_diamonds = choose2(c_len) - k4e;
+            o13[u] += chord_diamonds;
+            o13[v] += chord_diamonds;
+            k4_sum[u] += k4e;
+            k4_sum[v] += k4e;
+
+            // Tailed triangles from every triangle (u, v, w), w > v so
+            // each triangle is visited exactly once. A tail at corner a
+            // is a neighbor of a adjacent to neither other corner.
+            if common.iter().any(|&w| (w as usize) > v) {
+                mark_u.set(skel.neighbors(u));
+                mark_v.set(skel.neighbors(v));
+                for &w32 in &common {
+                    let w = w32 as usize;
+                    if w <= v {
+                        continue;
+                    }
+                    mark_w.set(skel.neighbors(w));
+                    for (corner, others, ma, mb) in [
+                        (u, [v, w], &mark_v, &mark_w),
+                        (v, [u, w], &mark_u, &mark_w),
+                        (w, [u, v], &mark_u, &mark_v),
+                    ] {
+                        for &x32 in skel.neighbors(corner) {
+                            let x = x32 as usize;
+                            if x == others[0] || x == others[1] || ma.has(x) || mb.has(x) {
+                                continue;
+                            }
+                            o9[x] += 1;
+                            o11[corner] += 1;
+                            o10[others[0]] += 1;
+                            o10[others[1]] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Non-induced closed forms shared by the sparse-orbit equations.
+    let b: Vec<i64> = (0..n)
+        .map(|v| {
+            skel.neighbors(v)
+                .iter()
+                .map(|&w| deg(w as usize) - 1)
+                .sum()
+        })
+        .collect();
+
+    // Non-induced 4-cycles through u: for every two-hop partner w, any
+    // two distinct connecting middles close a 4-walk cycle.
+    let mut cnt = StampCounts::new(n);
+    let mut nc4 = vec![0i64; n];
+    for (u, slot) in nc4.iter_mut().enumerate() {
+        cnt.begin();
+        for &v32 in skel.neighbors(u) {
+            for &w32 in skel.neighbors(v32 as usize) {
+                let w = w32 as usize;
+                if w != u {
+                    cnt.bump(w);
+                }
+            }
+        }
+        *slot = cnt.drain(|c| choose2(c as i64));
+    }
+
+    for u in 0..n {
+        let o14 = k4_sum[u] / 3;
+        let o8 = nc4[u] - o12[u] - o13[u] - 3 * o14;
+        let ns: i64 = skel
+            .neighbors(u)
+            .iter()
+            .map(|&v| choose2(deg(v as usize) - 1))
+            .sum();
+        let np: i64 = skel
+            .neighbors(u)
+            .iter()
+            .zip(&tri[u])
+            .map(|(&v, &t_uv)| (deg(u) - 1) * (deg(v as usize) - 1) - t_uv as i64)
+            .sum();
+        let ne: i64 = skel.neighbors(u).iter().map(|&v| b[v as usize]).sum::<i64>()
+            - deg(u) * (deg(u) - 1)
+            - 2 * t_node[u];
+        let o7 = choose2_3(deg(u)) - o11[u] - o13[u] - o14;
+        let o6 = ns - o9[u] - o10[u] - 2 * o12[u] - o13[u] - 3 * o14;
+        let o5 = np - o10[u] - 2 * o11[u] - 2 * o8 - 2 * o12[u] - 4 * o13[u] - 6 * o14;
+        let o4 = ne - 2 * o9[u] - o10[u] - 2 * o8 - 4 * o12[u] - 2 * o13[u] - 6 * o14;
+        let derived = [o4, o5, o6, o7, o8, o9[u], o10[u], o11[u], o12[u], o13[u], o14];
+        for (k, &val) in derived.iter().enumerate() {
+            debug_assert!(val >= 0, "orbit {} of node {u} went negative: {val}", k + 4);
+            counts[u][k + 4] = val as u64;
+        }
+    }
+
+    counts
+}
+
+/// `n choose 2` (0 for degenerate inputs).
+fn choose2(x: i64) -> i64 {
+    if x < 2 {
+        0
+    } else {
+        x * (x - 1) / 2
+    }
+}
+
+/// `n choose 3` (0 for degenerate inputs).
+fn choose2_3(x: i64) -> i64 {
+    if x < 3 {
+        0
+    } else {
+        x * (x - 1) * (x - 2) / 6
+    }
+}
+
+/// Size of the intersection of two sorted u32 slices (two-pointer merge).
+fn intersect_count(a: &[u32], b: &[u32]) -> u32 {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Writes the sorted intersection of two sorted u32 slices into `out`.
+fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Epoch-stamped membership marks over node ids (set in O(|list|),
+/// reset in O(1)).
+struct Marks {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Marks {
+    fn new(n: usize) -> Self {
+        Marks {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn set(&mut self, nodes: &[u32]) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        for &x in nodes {
+            self.stamp[x as usize] = self.epoch;
+        }
+    }
+
+    fn has(&self, x: usize) -> bool {
+        self.stamp[x] == self.epoch
+    }
+}
+
+/// Epoch-stamped counter array with a touched-key list, for two-hop
+/// common-neighbor counting without clearing between nodes.
+struct StampCounts {
+    stamp: Vec<u32>,
+    count: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampCounts {
+    fn new(n: usize) -> Self {
+        StampCounts {
+            stamp: vec![0; n],
+            count: vec![0; n],
+            touched: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    fn bump(&mut self, k: usize) {
+        if self.stamp[k] == self.epoch {
+            self.count[k] += 1;
+        } else {
+            self.stamp[k] = self.epoch;
+            self.count[k] = 1;
+            self.touched.push(k as u32);
+        }
+    }
+
+    fn drain(&mut self, f: impl Fn(u32) -> i64) -> i64 {
+        self.touched.iter().map(|&k| f(self.count[k as usize])).sum()
+    }
+}
+
+/// The former ESU-based orbit counter, kept as the **test oracle** for
+/// [`orbit_counts`]: enumerates each connected induced 4-node subgraph
+/// exactly once and classifies it. Complexity grows with the number of
+/// connected 4-subgraphs (hub nodes of degree d contribute Θ(d³)
+/// 3-stars), which is why serving paths use the combinatorial counter.
+pub fn orbit_counts_esu(skel: &Skeleton) -> Vec<[u64; NUM_ORBITS]> {
     let n = skel.len();
     let mut counts = vec![[0u64; NUM_ORBITS]; n];
 
@@ -513,6 +819,42 @@ mod tests {
         assert_eq!(orb[2][13], 1);
         assert_eq!(orb[1][12], 1);
         assert_eq!(orb[3][12], 1);
+    }
+
+    #[test]
+    fn combinatorial_orbits_match_esu_oracle_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..40 {
+            let n = 5 + (trial % 12);
+            let p = 0.1 + 0.06 * (trial % 11) as f64;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(p) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = graph_from_edges(n, &edges);
+            let s = Skeleton::new(&g);
+            assert_eq!(
+                orbit_counts(&s),
+                orbit_counts_esu(&s),
+                "trial {trial} (n={n}, p={p:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn combinatorial_orbits_handle_degenerate_graphs() {
+        for edges in [&[][..], &[(0, 1)][..]] {
+            let g = graph_from_edges(3, edges);
+            let s = Skeleton::new(&g);
+            assert_eq!(orbit_counts(&s), orbit_counts_esu(&s));
+        }
+        let empty = Skeleton::new(&CircuitGraph::new("none"));
+        assert!(orbit_counts(&empty).is_empty());
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Forward-only inference engine.
+//!
+//! [`Tape`](crate::Tape) pays for reverse-mode differentiation on every
+//! forward pass: each op records a tape node, every intermediate value is
+//! a freshly allocated [`Matrix`], and parameters are cloned in as
+//! leaves. That bookkeeping is pure waste on serving paths that never
+//! call `backward` — the diffusion sampler in the core crate runs the
+//! same encoder/decoder hundreds of times per request and uses only the
+//! final probabilities.
+//!
+//! [`Infer`] executes the same op set (matmul, spmm_mean, relu,
+//! gather_rows, hadamard, concat_cols, add_row, sigmoid, …) with **zero
+//! tape-node bookkeeping and fully reusable scratch buffers**: all
+//! intermediates live in an [`InferScratch`] arena of preallocated
+//! matrices that is reused across passes, parameters are read straight
+//! from the [`ParamStore`], and external constants are borrowed rather
+//! than copied. Once the arena is warm (shapes repeat between passes),
+//! a pass performs **no heap allocation at all**.
+//!
+//! Every op replicates the corresponding [`Tape`](crate::Tape) op's
+//! floating-point evaluation exactly — same loop order, same scalar
+//! functions — so forward values are **bit-identical** to the tape path.
+//! The tape stays the training/backward engine and the oracle: the core
+//! crate's `infer_equivalence` property suite asserts bit-equality per
+//! op and end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use syncircuit_nn::{layers::Mlp, Infer, InferScratch, Matrix, ParamStore, Tape};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, &[3, 8, 2], &mut rng);
+//! let x = Matrix::randn(5, 3, 1.0, &mut rng);
+//!
+//! // Tape forward (reference) …
+//! let mut tape = Tape::new(&store);
+//! let xv = tape.leaf(x.clone());
+//! let yt = mlp.forward(&mut tape, xv);
+//!
+//! // … and the same forward on the inference engine.
+//! let mut scratch = InferScratch::new();
+//! let mut inf = Infer::new(&store, &mut scratch);
+//! let xi = inf.constant(&x);
+//! let yi = mlp.forward_infer(&mut inf, xi);
+//! assert_eq!(tape.value(yt).data(), inf.value(yi).data());
+//! ```
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::sparse::RowNormAdj;
+use crate::tape::sigmoid;
+
+/// Handle to a value inside an [`Infer`] pass.
+///
+/// Slots are only meaningful for the pass that created them; using a
+/// slot from an earlier pass is a logic error (and panics when the slot
+/// indexes past the current pass's values).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Slot(SlotKind);
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotKind {
+    /// Intermediate value in the scratch arena.
+    Arena(usize),
+    /// Borrowed external constant.
+    Ext(usize),
+    /// Parameter read directly from the store.
+    Param(usize),
+}
+
+/// Reusable matrix arena backing [`Infer`] passes.
+///
+/// Buffers persist across passes and are reshaped in place
+/// ([`Matrix::reset_shape`]), so once a scratch has served a pass of the
+/// same op sequence and shapes, subsequent passes allocate nothing.
+/// Differently-shaped passes simply reshape the buffers — no stale
+/// state survives, because every op fully overwrites its output.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    bufs: Vec<Matrix>,
+}
+
+impl InferScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arena buffers currently held (diagnostic; buffers are
+    /// created on cold passes and only reshaped afterwards).
+    pub fn capacity(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
+/// One forward-only evaluation pass over a [`ParamStore`].
+///
+/// Created with [`Infer::new`]; ops return [`Slot`] handles. Unlike
+/// [`Tape`](crate::Tape), constructing an `Infer` copies nothing — it
+/// borrows the store and writes intermediates into the scratch arena.
+#[derive(Debug)]
+pub struct Infer<'p, 's> {
+    store: &'p ParamStore,
+    ext: Vec<&'p Matrix>,
+    scratch: &'s mut InferScratch,
+    used: usize,
+}
+
+impl<'p, 's> Infer<'p, 's> {
+    /// Starts a pass reading parameters from `store` and reusing
+    /// `scratch`'s buffers.
+    pub fn new(store: &'p ParamStore, scratch: &'s mut InferScratch) -> Self {
+        Infer {
+            store,
+            ext: Vec::new(),
+            scratch,
+            used: 0,
+        }
+    }
+
+    /// The slot of a store parameter (no copy — reads the live value).
+    pub fn param(&self, id: ParamId) -> Slot {
+        Slot(SlotKind::Param(id.index()))
+    }
+
+    /// Borrows an external constant into the pass (no copy; the matrix
+    /// must outlive the parameter store borrow).
+    pub fn constant(&mut self, m: &'p Matrix) -> Slot {
+        self.ext.push(m);
+        Slot(SlotKind::Ext(self.ext.len() - 1))
+    }
+
+    /// Value of a slot.
+    pub fn value(&self, s: Slot) -> &Matrix {
+        resolve(self.store, &self.ext, &self.scratch.bufs[..self.used], s)
+    }
+
+    /// Shape of a slot's value.
+    pub fn shape(&self, s: Slot) -> (usize, usize) {
+        self.value(s).shape()
+    }
+
+    fn push_buf(&mut self) -> usize {
+        if self.used == self.scratch.bufs.len() {
+            self.scratch.bufs.push(Matrix::zeros(0, 0));
+        }
+        self.used += 1;
+        self.used - 1
+    }
+
+    /// Reserves the next arena buffer and returns it alongside the
+    /// resolver inputs (arena slice excludes the output, so input slots
+    /// — always created earlier — stay readable).
+    #[allow(clippy::type_complexity)]
+    fn with_out(&mut self) -> (&ParamStore, &[&'p Matrix], &[Matrix], &mut Matrix, usize) {
+        let out = self.push_buf();
+        let (head, tail) = self.scratch.bufs.split_at_mut(out);
+        (self.store, &self.ext, head, &mut tail[0], out)
+    }
+
+    /// Matrix product (bit-identical to [`Tape::matmul`](crate::Tape::matmul)).
+    pub fn matmul(&mut self, a: Slot, b: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let bv = resolve(store, ext, arena, b);
+        av.matmul_into(bv, dst);
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Slot, b: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let bv = resolve(store, ext, arena, b);
+        assert_eq!(av.shape(), bv.shape(), "add shape mismatch");
+        dst.reset_shape_any(av.rows(), av.cols());
+        for ((o, &x), &y) in dst.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = x + y;
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Elementwise product (same shapes).
+    pub fn hadamard(&mut self, a: Slot, b: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let bv = resolve(store, ext, arena, b);
+        assert_eq!(av.shape(), bv.shape(), "hadamard shape mismatch");
+        dst.reset_shape_any(av.rows(), av.cols());
+        for ((o, &x), &y) in dst.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = x * y;
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Adds a 1×C row vector to every row of an R×C matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not 1×C.
+    pub fn add_row(&mut self, a: Slot, row: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let rv = resolve(store, ext, arena, row);
+        assert_eq!(rv.rows(), 1, "add_row expects a 1xC row vector");
+        assert_eq!(rv.cols(), av.cols(), "add_row width mismatch");
+        let cols = av.cols();
+        dst.reset_shape_any(av.rows(), cols);
+        for i in 0..av.rows() {
+            let src = av.row(i);
+            let drow = &mut dst.data_mut()[i * cols..(i + 1) * cols];
+            for ((o, &x), &r) in drow.iter_mut().zip(src).zip(rv.data()) {
+                *o = x + r;
+            }
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Slot) -> Slot {
+        self.map_unary(a, |x| x.max(0.0))
+    }
+
+    /// Logistic sigmoid (the numerically stable form the tape uses).
+    pub fn sigmoid(&mut self, a: Slot) -> Slot {
+        self.map_unary(a, sigmoid)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Slot) -> Slot {
+        self.map_unary(a, f32::tanh)
+    }
+
+    fn map_unary(&mut self, a: Slot, f: impl Fn(f32) -> f32) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        dst.reset_shape_any(av.rows(), av.cols());
+        for (o, &x) in dst.data_mut().iter_mut().zip(av.data()) {
+            *o = f(x);
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Horizontal concatenation `[A | B]` (same row counts).
+    pub fn concat_cols(&mut self, a: Slot, b: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let bv = resolve(store, ext, arena, b);
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let (ca, cb) = (av.cols(), bv.cols());
+        dst.reset_shape_any(av.rows(), ca + cb);
+        for i in 0..av.rows() {
+            dst.data_mut()[i * (ca + cb)..i * (ca + cb) + ca].copy_from_slice(av.row(i));
+            dst.data_mut()[i * (ca + cb) + ca..(i + 1) * (ca + cb)].copy_from_slice(bv.row(i));
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Row gather: `out[i] = a[idx[i]]` (no `Rc` — the index slice is
+    /// only read during the call, so callers can reuse one buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&mut self, a: Slot, idx: &[u32]) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let cols = av.cols();
+        dst.reset_shape_any(idx.len(), cols);
+        for (i, &r) in idx.iter().enumerate() {
+            dst.data_mut()[i * cols..(i + 1) * cols].copy_from_slice(av.row(r as usize));
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Mean-over-parents aggregation `A × X` with a row-normalized
+    /// sparse adjacency (borrowed, not `Rc`-wrapped).
+    pub fn spmm_mean(&mut self, adj: &RowNormAdj, x: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let xv = resolve(store, ext, arena, x);
+        adj.matmul_into(xv, dst);
+        Slot(SlotKind::Arena(out))
+    }
+}
+
+fn resolve<'x>(
+    store: &'x ParamStore,
+    ext: &'x [&Matrix],
+    arena: &'x [Matrix],
+    s: Slot,
+) -> &'x Matrix {
+    match s.0 {
+        SlotKind::Arena(i) => &arena[i],
+        SlotKind::Ext(i) => ext[i],
+        SlotKind::Param(i) => store.get(ParamId(i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::rc::Rc;
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn every_op_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::randn(4, 3, 0.8, &mut rng));
+        let a = Matrix::randn(5, 4, 1.0, &mut rng);
+        let b = Matrix::randn(5, 3, 1.0, &mut rng);
+        let row = Matrix::randn(1, 3, 1.0, &mut rng);
+        let idx: Vec<u32> = vec![0, 2, 2, 4, 1];
+        let adj = RowNormAdj::from_parents(&[vec![], vec![0], vec![0, 1], vec![2, 2], vec![3]]);
+
+        let mut tape = Tape::new(&store);
+        let (ta, tb, trow) = (
+            tape.leaf(a.clone()),
+            tape.leaf(b.clone()),
+            tape.leaf(row.clone()),
+        );
+        let tw = tape.param(w);
+        let t_mm = tape.matmul(ta, tw);
+        let t_add = tape.add(t_mm, tb);
+        let t_had = tape.hadamard(t_add, tb);
+        let t_arow = tape.add_row(t_had, trow);
+        let t_relu = tape.relu(t_arow);
+        let t_sig = tape.sigmoid(t_arow);
+        let t_tanh = tape.tanh(t_arow);
+        let t_cat = tape.concat_cols(t_relu, t_sig);
+        let t_gat = tape.gather_rows(t_cat, idx.clone());
+        let t_spmm = tape.spmm_mean(Rc::new(adj.clone()), t_arow);
+
+        let mut scratch = InferScratch::new();
+        let mut inf = Infer::new(&store, &mut scratch);
+        let (ia, ib, irow) = (inf.constant(&a), inf.constant(&b), inf.constant(&row));
+        let iw = inf.param(w);
+        let i_mm = inf.matmul(ia, iw);
+        let i_add = inf.add(i_mm, ib);
+        let i_had = inf.hadamard(i_add, ib);
+        let i_arow = inf.add_row(i_had, irow);
+        let i_relu = inf.relu(i_arow);
+        let i_sig = inf.sigmoid(i_arow);
+        let i_tanh = inf.tanh(i_arow);
+        let i_cat = inf.concat_cols(i_relu, i_sig);
+        let i_gat = inf.gather_rows(i_cat, &idx);
+        let i_spmm = inf.spmm_mean(&adj, i_arow);
+
+        for (t, i) in [
+            (t_mm, i_mm),
+            (t_add, i_add),
+            (t_had, i_had),
+            (t_arow, i_arow),
+            (t_relu, i_relu),
+            (t_sig, i_sig),
+            (t_tanh, i_tanh),
+            (t_cat, i_cat),
+            (t_gat, i_gat),
+            (t_spmm, i_spmm),
+        ] {
+            assert_eq!(bits(tape.value(t)), bits(inf.value(i)));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        let store = ParamStore::new();
+        let mut scratch = InferScratch::new();
+        let big = Matrix::full(8, 8, 2.0);
+        let small = Matrix::full(2, 2, 3.0);
+        {
+            let mut inf = Infer::new(&store, &mut scratch);
+            let b = inf.constant(&big);
+            let r = inf.relu(b);
+            assert_eq!(inf.value(r).shape(), (8, 8));
+        }
+        let grown = scratch.capacity();
+        {
+            let mut inf = Infer::new(&store, &mut scratch);
+            let s = inf.constant(&small);
+            let r = inf.relu(s);
+            assert_eq!(inf.value(r).shape(), (2, 2));
+            assert!(inf.value(r).data().iter().all(|&x| x == 3.0));
+        }
+        // Reuse never grows the arena for a same-or-smaller pass.
+        assert_eq!(scratch.capacity(), grown);
+    }
+}

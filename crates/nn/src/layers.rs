@@ -2,6 +2,7 @@
 //! paper's MPNN encoder layer, and a GRU cell for the autoregressive
 //! baselines.
 
+use crate::infer::{Infer, Slot};
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::sparse::RowNormAdj;
@@ -49,6 +50,15 @@ impl Linear {
         let h = tape.matmul(x, w);
         tape.add_row(h, b)
     }
+
+    /// [`Linear::forward`] on the forward-only inference engine
+    /// (bit-identical values, no tape bookkeeping).
+    pub fn forward_infer(&self, inf: &mut Infer<'_, '_>, x: Slot) -> Slot {
+        let w = inf.param(self.w);
+        let b = inf.param(self.b);
+        let h = inf.matmul(x, w);
+        inf.add_row(h, b)
+    }
 }
 
 /// Multi-layer perceptron with ReLU activations between layers and a
@@ -90,6 +100,19 @@ impl Mlp {
             h = layer.forward(tape, h);
             if i + 1 < self.layers.len() {
                 h = tape.relu(h);
+            }
+        }
+        h
+    }
+
+    /// [`Mlp::forward`] on the forward-only inference engine
+    /// (bit-identical values, no tape bookkeeping).
+    pub fn forward_infer(&self, inf: &mut Infer<'_, '_>, x: Slot) -> Slot {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_infer(inf, h);
+            if i + 1 < self.layers.len() {
+                h = inf.relu(h);
             }
         }
         h

@@ -7,6 +7,8 @@
 //!
 //! - [`Matrix`] — dense row-major `f32` matrices
 //! - [`Tape`] — reverse-mode automatic differentiation over matrix ops
+//! - [`Infer`] / [`InferScratch`] — forward-only inference engine with
+//!   reusable scratch buffers, bit-identical to the tape's forward pass
 //! - [`ParamStore`] / [`Adam`] — persistent parameters and optimizer state
 //! - [`layers`] — `Linear`, `Mlp`, `Embedding`, `MpnnLayer`, `GruCell`
 //! - [`sparse::RowNormAdj`] — row-normalized sparse adjacency for
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod infer;
 pub mod layers;
 pub mod sparse;
 
@@ -50,6 +53,7 @@ mod matrix;
 mod params;
 mod tape;
 
+pub use infer::{Infer, InferScratch, Slot};
 pub use matrix::Matrix;
 pub use params::{Adam, ParamId, ParamStore};
 pub use tape::{Gradients, Tape, Var};

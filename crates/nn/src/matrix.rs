@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -152,25 +152,8 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul shape mismatch: {}x{} × {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
         out
     }
 
@@ -210,6 +193,110 @@ impl Matrix {
                 .zip(&rhs.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+        }
+    }
+
+    /// Reshapes this matrix in place to `rows × cols` and zero-fills it,
+    /// reusing the existing allocation whenever the capacity suffices —
+    /// the scratch primitive behind the forward-only inference engine
+    /// (see [`crate::infer`]): warm buffers never touch the allocator.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// [`Matrix::reset_shape`] without the zero-fill: contents are
+    /// unspecified (stale values from earlier passes). Only for callers
+    /// that overwrite every element before the value is read.
+    pub fn reset_shape_any(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if n > self.data.len() {
+            self.data.resize(n, 0.0);
+        } else {
+            self.data.truncate(n);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Writes `self × rhs` into `out` (reshaped in place). Per output
+    /// element, contributions accumulate in ascending `k` with zero `a`
+    /// entries skipped — the historical ikj order — but the inner loop
+    /// is tiled over output columns so the running sums live in
+    /// registers instead of round-tripping through the output row every
+    /// `k`. Identical scalar operation sequence per element, so results
+    /// are bit-identical to the straightforward loop; [`Matrix::matmul`]
+    /// delegates here, keeping the allocating and scratch-reusing paths
+    /// equal by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset_shape_any(self.rows, rhs.cols);
+        let d = rhs.cols;
+        if self.cols == 0 || d == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        if d == 1 {
+            // Column output: a plain dot product per row (same k order
+            // and zero-skip as the tiled path below).
+            for (arow, o) in self.data.chunks_exact(self.cols).zip(out.data.iter_mut()) {
+                let mut acc = 0.0f32;
+                for (&a, &r) in arow.iter().zip(&rhs.data) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * r;
+                }
+                *o = acc;
+            }
+            return;
+        }
+        const TILE: usize = 16;
+        for (arow, orow) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(d))
+        {
+            for (tile, otile) in orow.chunks_mut(TILE).enumerate() {
+                let w = otile.len();
+                let mut acc = [0.0f32; TILE];
+                if w == TILE {
+                    // Full tile: fixed-width inner loop (vectorizes
+                    // without runtime trip counts).
+                    for (rrow, &a) in rhs.data.chunks_exact(d).zip(arow) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rtile: &[f32; TILE] =
+                            rrow[tile * TILE..tile * TILE + TILE].try_into().unwrap();
+                        for (ac, &r) in acc.iter_mut().zip(rtile) {
+                            *ac += a * r;
+                        }
+                    }
+                } else {
+                    for (rrow, &a) in rhs.data.chunks_exact(d).zip(arow) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rtile = &rrow[tile * TILE..tile * TILE + w];
+                        for (ac, &r) in acc[..w].iter_mut().zip(rtile) {
+                            *ac += a * r;
+                        }
+                    }
+                }
+                otile.copy_from_slice(&acc[..w]);
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 use crate::matrix::Matrix;
 
 /// CSR sparse matrix with values, plus a transposed copy for backprop.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RowNormAdj {
     n: usize,
     // forward: out[j] = Σ_i val * x[i]
@@ -26,49 +26,60 @@ impl RowNormAdj {
     /// `parents[j]` lists the parents of node `j` (duplicates allowed and
     /// weighted accordingly).
     pub fn from_parents(parents: &[Vec<u32>]) -> Self {
+        let mut adj = RowNormAdj::default();
+        adj.rebuild_from_parents(parents);
+        adj
+    }
+
+    /// Rebuilds the operator in place from new parent lists, reusing
+    /// every CSR buffer (the scratch primitive behind the sampler hot
+    /// loop: once warm, per-step rebuilds never touch the allocator).
+    /// Produces exactly the same operator as [`RowNormAdj::from_parents`].
+    pub fn rebuild_from_parents(&mut self, parents: &[Vec<u32>]) {
         let n = parents.len();
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col_idx = Vec::new();
-        let mut val = Vec::new();
-        row_ptr.push(0u32);
+        self.n = n;
+        self.row_ptr.clear();
+        self.col_idx.clear();
+        self.val.clear();
+        self.row_ptr.push(0u32);
         for ps in parents {
             let w = if ps.is_empty() { 0.0 } else { 1.0 / ps.len() as f32 };
             for &p in ps {
-                col_idx.push(p);
-                val.push(w);
+                self.col_idx.push(p);
+                self.val.push(w);
             }
-            row_ptr.push(col_idx.len() as u32);
+            self.row_ptr.push(self.col_idx.len() as u32);
         }
-        // Build transpose by counting then filling.
-        let mut t_counts = vec![0u32; n];
-        for &c in &col_idx {
-            t_counts[c as usize] += 1;
+        // Build the transpose by counting then filling, using t_row_ptr
+        // itself as the fill cursor (shifted back afterwards) so the
+        // rebuild needs no temporary allocation.
+        let nnz = self.col_idx.len();
+        self.t_row_ptr.clear();
+        self.t_row_ptr.resize(n + 1, 0);
+        for &c in &self.col_idx {
+            self.t_row_ptr[c as usize + 1] += 1;
         }
-        let mut t_row_ptr = vec![0u32; n + 1];
         for i in 0..n {
-            t_row_ptr[i + 1] = t_row_ptr[i] + t_counts[i];
+            self.t_row_ptr[i + 1] += self.t_row_ptr[i];
         }
-        let nnz = col_idx.len();
-        let mut t_col_idx = vec![0u32; nnz];
-        let mut t_val = vec![0f32; nnz];
-        let mut cursor = t_row_ptr.clone();
+        self.t_col_idx.clear();
+        self.t_col_idx.resize(nnz, 0);
+        self.t_val.clear();
+        self.t_val.resize(nnz, 0.0);
         for j in 0..n {
-            for k in row_ptr[j] as usize..row_ptr[j + 1] as usize {
-                let i = col_idx[k] as usize;
-                let pos = cursor[i] as usize;
-                t_col_idx[pos] = j as u32;
-                t_val[pos] = val[k];
-                cursor[i] += 1;
+            for k in self.row_ptr[j] as usize..self.row_ptr[j + 1] as usize {
+                let i = self.col_idx[k] as usize;
+                let pos = self.t_row_ptr[i] as usize;
+                self.t_col_idx[pos] = j as u32;
+                self.t_val[pos] = self.val[k];
+                self.t_row_ptr[i] += 1;
             }
         }
-        RowNormAdj {
-            n,
-            row_ptr,
-            col_idx,
-            val,
-            t_row_ptr,
-            t_col_idx,
-            t_val,
+        for i in (1..=n).rev() {
+            self.t_row_ptr[i] = self.t_row_ptr[i - 1];
+        }
+        if n > 0 {
+            self.t_row_ptr[0] = 0;
         }
     }
 
@@ -97,6 +108,17 @@ impl RowNormAdj {
         )
     }
 
+    /// Writes `A × X` into `out` (reshaped in place), bit-identical to
+    /// [`RowNormAdj::matmul`] — the inference-engine variant that reuses
+    /// a scratch buffer instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.len()`.
+    pub fn matmul_into(&self, x: &Matrix, out: &mut Matrix) {
+        spmm_into(self.n, &self.row_ptr, &self.col_idx, &self.val, x, out);
+    }
+
     /// Transposed product `Aᵀ × X` (used by the backward pass).
     ///
     /// # Panics
@@ -114,9 +136,15 @@ impl RowNormAdj {
 }
 
 fn spmm(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    spmm_into(n, row_ptr, col_idx, val, x, &mut out);
+    out
+}
+
+fn spmm_into(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix, out: &mut Matrix) {
     assert_eq!(x.rows(), n, "spmm row mismatch");
     let d = x.cols();
-    let mut out = Matrix::zeros(n, d);
+    out.reset_shape(n, d);
     for j in 0..n {
         for k in row_ptr[j] as usize..row_ptr[j + 1] as usize {
             let i = col_idx[k] as usize;
@@ -128,7 +156,6 @@ fn spmm(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix) -> 
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

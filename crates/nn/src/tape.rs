@@ -484,7 +484,7 @@ fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
+pub(crate) fn sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {

@@ -27,9 +27,16 @@ example-smoke:
     cargo run --release --example quickstart
 
 # compile + run the 7 experiment harnesses briefly; the micro bench
-# runs the shimmed Criterion loop, the table/figure benches print rows
+# runs the shimmed Criterion loop (incl. the sampler/stats scaling
+# benches), the table/figure benches print rows
 bench-smoke:
     cargo bench -p syncircuit-bench --bench micro
+
+# perf gate: fail when any previously-recorded benchmark's `current`
+# exceeds 1.3x its recorded baseline in BENCH_phase3.json (CI runs
+# this warn-only after bench-smoke refreshes the trajectory)
+perf-check:
+    cargo run --release -p syncircuit-bench --bin bench-json -- --check BENCH_phase3.json
 
 # machine-readable perf trajectory: run the micro bench with JSON
 # capture, then merge into BENCH_phase3.json (baseline preserved,
