@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check doc example-smoke bench-smoke bench-json perf-check bench-all determinism stress ci
+.PHONY: build test lint fmt-check doc example-smoke bench-smoke serve-smoke bench-json perf-check bench-all determinism stress ci
 
 build:
 	cargo build --release
@@ -23,9 +23,13 @@ example-smoke:
 bench-smoke:
 	cargo bench -p syncircuit-bench --bench micro
 
+serve-smoke:
+	cargo run --release -p syncircuit-bench --bin load-gen -- --requests 100 --tenants 4 --max-resident 2 --inflight 64 --queue 1024
+
 bench-json:
 	BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
-	cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json BENCH_phase3.json
+	cargo run --release -p syncircuit-bench --bin load-gen -- --json /tmp/syncircuit-serve-load.json
+	cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json /tmp/syncircuit-serve-load.json BENCH_phase3.json
 
 perf-check:
 	cargo run --release -p syncircuit-bench --bin bench-json -- --check BENCH_phase3.json
@@ -51,4 +55,4 @@ stress:
 	diff /tmp/syncircuit-rel1.txt /tmp/syncircuit-rel2.txt
 	@echo "release determinism: two runs identical"
 
-ci: build test lint doc example-smoke stress
+ci: build test lint doc example-smoke serve-smoke stress

@@ -3,14 +3,18 @@
 //!
 //! Usage:
 //!
-//! - `bench-json <current-run.json> <trajectory.json>` — merge mode.
-//!   `<current-run.json>` is the flat `{"bench": mean_ns}` object the
-//!   vendored criterion shim writes when `BENCH_JSON` is set. The
+//! - `bench-json <current-run.json>... <trajectory.json>` — merge mode.
+//!   Each `<current-run.json>` is a flat `{"bench": mean_ns}` object:
+//!   the vendored criterion shim writes one when `BENCH_JSON` is set,
+//!   and `load-gen --json` writes its serving percentiles in the same
+//!   shape. Multiple run files are concatenated into one `current`
+//!   section (the section is *replaced*, not merged, so every
+//!   producer's file must be passed in a single invocation). The
 //!   trajectory file keeps a `baseline` section (seeded from the first
 //!   recorded run and preserved afterwards — new benches are added to
 //!   it on first sight), the freshest `current` section, and the
 //!   derived `speedup` (baseline / current) per bench. `just
-//!   bench-json` wires the two steps together.
+//!   bench-json` wires the steps together.
 //! - `bench-json --check <trajectory.json>` — perf gate (`just
 //!   perf-check`): fails when any previously-recorded benchmark's
 //!   `current` exceeds `1.3 ×` its recorded `baseline` (CI runs it
@@ -93,18 +97,29 @@ fn main() -> ExitCode {
     if args.len() == 3 && args[1] == "--check" {
         return check(&args[2]);
     }
-    if args.len() != 3 {
-        eprintln!("usage: bench-json <current-run.json> <trajectory.json> | --check <trajectory.json>");
+    if args.len() < 3 {
+        eprintln!("usage: bench-json <current-run.json>... <trajectory.json> | --check <trajectory.json>");
         return ExitCode::FAILURE;
     }
-    let Some(current) = read_object(&args[1]) else {
-        eprintln!("error: {} is not a JSON object of bench results", args[1]);
-        return ExitCode::FAILURE;
-    };
+    let trajectory = args.last().expect("len checked above").clone();
+    let mut current: Vec<(String, Value)> = Vec::new();
+    for run in &args[1..args.len() - 1] {
+        let Some(fields) = read_object(run) else {
+            eprintln!("error: {run} is not a JSON object of bench results");
+            return ExitCode::FAILURE;
+        };
+        for (name, ns) in fields {
+            if get(&current, &name).is_some() {
+                eprintln!("error: benchmark {name} appears in more than one run file");
+                return ExitCode::FAILURE;
+            }
+            current.push((name, ns));
+        }
+    }
 
     // Preserve the recorded baseline; seed missing entries from the
     // current run so every bench always has a reference point.
-    let mut baseline: Vec<(String, Value)> = read_object(&args[2])
+    let mut baseline: Vec<(String, Value)> = read_object(&trajectory)
         .and_then(|fields| match get(&fields, "baseline") {
             Some(Value::Object(b)) => Some(b.clone()),
             _ => None,
@@ -142,10 +157,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = std::fs::write(&args[2], text + "\n") {
-        eprintln!("error: cannot write {}: {e}", args[2]);
+    if let Err(e) = std::fs::write(&trajectory, text + "\n") {
+        eprintln!("error: cannot write {trajectory}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {}", args[2]);
+    println!("wrote {trajectory}");
     ExitCode::SUCCESS
 }

@@ -1,0 +1,243 @@
+//! Load generator for the serving daemon: replays a mixed-tenant
+//! request trace at a configurable in-flight window and reports
+//! latency percentiles and throughput.
+//!
+//! The harness trains one tiny model per tenant, saves the artifacts,
+//! starts a [`Daemon`] whose registry budget is (by default) half the
+//! tenant fleet — so sustained traffic continuously evicts and reloads
+//! models — and then pushes requests through a sliding window of
+//! outstanding tickets. It fails loudly on *any* serving error: under
+//! correct admission sizing (window ≤ queue capacity) the daemon must
+//! absorb the whole trace.
+//!
+//! ```text
+//! load-gen [--requests N] [--tenants T] [--workers W] [--queue CAP]
+//!          [--max-resident M] [--inflight K] [--nodes SIZE] [--json OUT]
+//! ```
+//!
+//! Defaults replay 1000 requests across 4 tenants with 1000 requests
+//! in flight against a 2-model registry budget. `--json OUT` writes a
+//! flat `{"bench": ns}` object compatible with the `bench-json`
+//! trajectory merge (`just bench-json` feeds it into
+//! `BENCH_phase3.json`). `just serve-smoke` runs a downsized trace as
+//! a CI gate.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use syncircuit_core::{GenRequest, PipelineConfig, RewardKind, SynCircuit};
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_serve::{Daemon, DaemonConfig, RegistryBudget, Ticket};
+
+struct Args {
+    requests: usize,
+    tenants: usize,
+    workers: usize,
+    queue: usize,
+    max_resident: usize,
+    inflight: usize,
+    nodes: usize,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            requests: 1000,
+            tenants: 4,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue: 2048,
+            max_resident: 2,
+            inflight: 1000,
+            nodes: 16,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--requests" => args.requests = parse(&flag, &value()?)?,
+                "--tenants" => args.tenants = parse(&flag, &value()?)?,
+                "--workers" => args.workers = parse(&flag, &value()?)?,
+                "--queue" => args.queue = parse(&flag, &value()?)?,
+                "--max-resident" => args.max_resident = parse(&flag, &value()?)?,
+                "--inflight" => args.inflight = parse(&flag, &value()?)?,
+                "--nodes" => args.nodes = parse(&flag, &value()?)?,
+                "--json" => args.json = Some(value()?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if args.tenants == 0 || args.requests == 0 {
+            return Err("--tenants and --requests must be positive".to_string());
+        }
+        if args.inflight == 0 || args.inflight > args.queue {
+            return Err("--inflight must be in 1..=queue capacity".to_string());
+        }
+        Ok(args)
+    }
+}
+
+fn parse(flag: &str, text: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|e| format!("{flag}: invalid value {text:?}: {e}"))
+}
+
+/// Trains and saves one tiny artifact per tenant under a temp dir.
+fn train_fleet(dir: &std::path::Path, tenants: usize) -> Vec<String> {
+    (0..tenants as u64)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let corpus: Vec<_> = (0..2)
+                .map(|_| random_circuit_with_size(&mut rng, 20))
+                .collect();
+            let cfg = PipelineConfig::builder()
+                .seed(1000 + t)
+                .reward(RewardKind::IncrementalCone)
+                .cone_cache_capacity(64) // exercise the bounded cache too
+                .build()
+                .expect("valid configuration");
+            let model = SynCircuit::fit(&corpus, cfg).expect("fit tenant model");
+            let path = dir.join(format!("tenant_{t}.json"));
+            model.save(&path).expect("save tenant artifact");
+            path.display().to_string()
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "syncircuit-load-gen-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+
+    eprintln!(
+        "load-gen: training {} tenant model(s) ({}-node corpus circuits)...",
+        args.tenants, 20
+    );
+    let fleet = train_fleet(&dir, args.tenants);
+
+    let daemon = Daemon::start(DaemonConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        budget: RegistryBudget::max_models(args.max_resident),
+    });
+    eprintln!(
+        "load-gen: replaying {} requests, {} tenants, {} workers, window {}, registry budget {} model(s)",
+        args.requests, args.tenants, args.workers, args.inflight, args.max_resident
+    );
+
+    // Sliding window: keep `inflight` tickets outstanding, redeem FIFO.
+    let mut window: VecDeque<(Instant, Ticket)> = VecDeque::with_capacity(args.inflight);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(args.requests);
+    let mut peak_inflight = 0usize;
+    let started = Instant::now();
+    for k in 0..args.requests as u64 {
+        if window.len() == args.inflight {
+            let (submitted, ticket) = window.pop_front().expect("window is non-empty");
+            ticket.wait().map_err(|e| format!("request failed: {e}"))?;
+            latencies.push(submitted.elapsed());
+        }
+        let tenant = (k % args.tenants as u64) as usize;
+        let request = GenRequest::nodes(args.nodes + (k % 5) as usize).seeded(k);
+        let ticket = daemon
+            .submit(&format!("tenant-{tenant}"), &fleet[tenant], request)
+            .map_err(|e| format!("admission failed at request {k}: {e}"))?;
+        window.push_back((Instant::now(), ticket));
+        peak_inflight = peak_inflight.max(window.len());
+    }
+    for (submitted, ticket) in window {
+        ticket.wait().map_err(|e| format!("request failed: {e}"))?;
+        latencies.push(submitted.elapsed());
+    }
+    let wall = started.elapsed();
+
+    let registry = daemon.registry().stats();
+    let stats = daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if stats.served != args.requests as u64 {
+        return Err(format!(
+            "daemon served {} of {} requests",
+            stats.served, args.requests
+        ));
+    }
+    if stats.rejected != 0 {
+        return Err(format!("{} submissions were rejected", stats.rejected));
+    }
+    if args.max_resident < args.tenants && registry.evictions == 0 {
+        return Err(format!(
+            "registry budget ({} < {} tenants) forced no evictions: {registry:?}",
+            args.max_resident, args.tenants
+        ));
+    }
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let mean_ns = latencies.iter().map(Duration::as_nanos).sum::<u128>()
+        / latencies.len() as u128;
+    let throughput = args.requests as f64 / wall.as_secs_f64();
+
+    println!(
+        "load-gen: {} requests in {:.2}s ({throughput:.0} req/s), peak in-flight {peak_inflight}",
+        args.requests,
+        wall.as_secs_f64()
+    );
+    println!(
+        "  latency p50 {:.2}ms  p99 {:.2}ms  mean {:.2}ms",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        mean_ns as f64 / 1e6
+    );
+    println!(
+        "  registry: {} hits, {} loads, {} evictions, {} resident ({} bytes)",
+        registry.hits, registry.loads, registry.evictions, registry.resident, registry.resident_bytes
+    );
+    println!(
+        "  daemon: {} served, {} rejected, {} queued at shutdown",
+        stats.served, stats.rejected, stats.queued
+    );
+
+    if let Some(path) = &args.json {
+        let doc = serde_json::Value::Object(vec![
+            (
+                "serve_load_p50_ns".to_string(),
+                serde_json::Value::UInt(p50.as_nanos() as u64),
+            ),
+            (
+                "serve_load_p99_ns".to_string(),
+                serde_json::Value::UInt(p99.as_nanos() as u64),
+            ),
+            (
+                "serve_load_mean_ns".to_string(),
+                serde_json::Value::UInt(mean_ns as u64),
+            ),
+        ]);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| format!("{e}"))?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("{path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("load-gen: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

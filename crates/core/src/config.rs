@@ -72,6 +72,11 @@ pub struct PipelineConfig {
     /// the default stripe count.
     #[serde(skip)]
     pub(crate) cone_cache_shards: usize,
+    /// Per-shard entry capacity of the shared cone-synthesis cache
+    /// (`0` ⇒ unbounded). Operational knob: bounds residency under CLOCK
+    /// eviction, never results — excluded from model artifacts.
+    #[serde(skip)]
+    pub(crate) cone_cache_capacity: usize,
 }
 
 impl PipelineConfig {
@@ -97,6 +102,7 @@ impl PipelineConfig {
             reward: RewardKind::Exact,
             seed: 0,
             cone_cache_shards: 0,
+            cone_cache_capacity: 0,
         }
     }
 
@@ -127,6 +133,7 @@ impl PipelineConfig {
             reward: RewardKind::Discriminator { epochs: 400 },
             seed: 0,
             cone_cache_shards: 0,
+            cone_cache_capacity: 0,
         }
     }
 
@@ -171,6 +178,15 @@ impl PipelineConfig {
     /// [`syncircuit_synth::SharedConeSynthCache`].
     pub fn cone_cache_shards(&self) -> usize {
         self.cone_cache_shards
+    }
+
+    /// Per-shard entry capacity of the shared cone-synthesis cache
+    /// (`0` ⇒ unbounded). When set, each shard keeps at most this many
+    /// memoized cones, evicting CLOCK / second-chance victims past it —
+    /// the residency ceiling a long-lived serving process needs. See
+    /// [`syncircuit_synth::SharedConeSynthCache`].
+    pub fn cone_cache_capacity(&self) -> usize {
+        self.cone_cache_capacity
     }
 
     /// Checks the bad-combination rules; [`PipelineConfigBuilder::build`]
@@ -321,6 +337,20 @@ impl PipelineConfigBuilder {
     /// so it is not persisted in model artifacts.
     pub fn cone_cache_shards(mut self, shards: usize) -> Self {
         self.config.cone_cache_shards = shards;
+        self
+    }
+
+    /// Sets the per-shard entry capacity of the shared cone-synthesis
+    /// cache (`0` ⇒ unbounded, the default).
+    ///
+    /// Operational knob: bounding only trades cache recall for a
+    /// residency ceiling — the table memoizes a pure function of cone
+    /// structure, so every capacity produces byte-identical generation
+    /// output (property-tested in
+    /// `tests/bounded_cache_equivalence.rs`) — so it is not persisted
+    /// in model artifacts.
+    pub fn cone_cache_capacity(mut self, per_shard_entries: usize) -> Self {
+        self.config.cone_cache_capacity = per_shard_entries;
         self
     }
 
@@ -525,6 +555,20 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.cone_cache_shards(), 8);
+    }
+
+    #[test]
+    fn cone_cache_capacity_knob() {
+        assert_eq!(
+            PipelineConfig::tiny().cone_cache_capacity(),
+            0,
+            "0 means unbounded"
+        );
+        let cfg = PipelineConfig::builder()
+            .cone_cache_capacity(64)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.cone_cache_capacity(), 64);
     }
 
     #[test]

@@ -290,15 +290,24 @@ impl SynCircuit {
         })
     }
 
-    /// Writes the versioned JSON artifact to `path`.
+    /// Writes the versioned JSON artifact to `path`, atomically.
+    ///
+    /// The artifact is rendered to a unique sibling temp file and
+    /// `rename`d into place, so a concurrent [`SynCircuit::load`] (e.g.
+    /// a serving daemon's model registry refreshing an artifact another
+    /// process is rewriting) observes either the previous complete
+    /// artifact or the new complete artifact — never a torn file
+    /// (tested in `tests/persist_atomicity.rs`). A failed write cleans
+    /// up its temp file and leaves any existing artifact untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Persist`] ([`PersistError::Io`]) on write
-    /// failures.
+    /// Returns [`Error::Persist`] ([`PersistError::Io`], naming `path`)
+    /// on write or rename failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        std::fs::write(path.as_ref(), self.to_json())
-            .map_err(|e| PersistError::Io(e.to_string()).into())
+        let path = path.as_ref();
+        atomic_write(path, self.to_json().as_bytes())
+            .map_err(|e| PersistError::Io(format!("{}: {e}", path.display())).into())
     }
 
     /// Reads a model saved by [`SynCircuit::save`].
@@ -306,12 +315,36 @@ impl SynCircuit {
     /// # Errors
     ///
     /// See [`SynCircuit::from_json`]; additionally returns
-    /// [`PersistError::Io`] on read failures.
+    /// [`PersistError::Io`] (naming `path`) on read failures.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, Error> {
-        let text = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| PersistError::Io(e.to_string()))?;
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))?;
         Self::from_json(&text)
     }
+}
+
+/// Writes `bytes` to a unique sibling temp file, then atomically
+/// `rename`s it over `path`. The temp name embeds the process id and a
+/// process-wide counter, so concurrent savers (threads or processes on
+/// one host) never stomp each other's in-progress writes; the final
+/// `rename` is atomic within a filesystem, so readers always see a
+/// complete file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsString::from)
+        .unwrap_or_else(|| std::ffi::OsString::from("artifact"));
+    name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]

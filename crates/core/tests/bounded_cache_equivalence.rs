@@ -1,0 +1,123 @@
+//! Bounded cone cache ≡ unbounded cone cache, end to end.
+//!
+//! `PipelineConfig::cone_cache_capacity` bounds the model-wide
+//! [`SharedConeSynthCache`](syncircuit_synth::SharedConeSynthCache) to a
+//! per-shard entry budget with CLOCK eviction. The cache memoizes a
+//! *pure* function of the cone's structural key, so eviction may only
+//! ever cost re-synthesis — never change a result. This battery pins
+//! that down at the pipeline level: a bounded model must generate
+//! byte-identical designs to an unbounded one, sequentially and at
+//! 1/4/8 workers, while actually evicting under the pressure we apply.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::OnceLock;
+use syncircuit_core::{GenRequest, Generated, PipelineConfig, RewardKind, SynCircuit};
+use syncircuit_graph::testing::random_circuit_with_size;
+use syncircuit_graph::CircuitGraph;
+
+fn corpus() -> Vec<CircuitGraph> {
+    let mut rng = StdRng::seed_from_u64(515);
+    (0..4)
+        .map(|_| random_circuit_with_size(&mut rng, 24))
+        .collect()
+}
+
+/// Identically-trained models differing only in the operational cache
+/// bound: the reference is unbounded, the subject runs one shard with a
+/// tiny per-shard capacity so realistic workloads force CLOCK churn.
+fn models() -> &'static (SynCircuit, SynCircuit) {
+    static MODELS: OnceLock<(SynCircuit, SynCircuit)> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let config = |capacity: usize| {
+            PipelineConfig::builder()
+                .seed(61)
+                .reward(RewardKind::IncrementalCone)
+                .cone_cache_shards(1)
+                .cone_cache_capacity(capacity)
+                .build()
+                .expect("valid configuration")
+        };
+        let unbounded = SynCircuit::fit(&corpus(), config(0)).expect("fit");
+        let bounded = SynCircuit::fit(&corpus(), config(3)).expect("fit");
+        assert_eq!(
+            unbounded.to_json(),
+            bounded.to_json(),
+            "the cache bound is operational: trained bits must be identical"
+        );
+        (unbounded, bounded)
+    })
+}
+
+fn assert_generated_identical(a: &Generated, b: &Generated) {
+    assert_eq!(a.graph, b.graph, "final graphs must be identical");
+    assert_eq!(a.gval, b.gval, "G_val must be identical");
+    assert_eq!(a.gini_edges, b.gini_edges);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.mcts.len(), b.mcts.len());
+    for (x, y) in a.mcts.iter().zip(&b.mcts) {
+        assert_eq!(x.best_reward.to_bits(), y.best_reward.to_bits());
+        assert_eq!(x.evaluations, y.evaluations);
+        assert_eq!(x.best, y.best);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn bounded_generation_matches_unbounded_at_1_4_8_workers(base in any::<u64>()) {
+        let (unbounded, bounded) = models();
+        // Varied sizes spread requests over many cone keys; duplicates
+        // make workers revisit keys the bound may have evicted.
+        let mut requests: Vec<GenRequest> = (0..6u64)
+            .map(|k| {
+                GenRequest::nodes(18 + (base.wrapping_add(k) % 8) as usize)
+                    .seeded(base.wrapping_mul(17).wrapping_add(k))
+            })
+            .collect();
+        requests.push(requests[0].clone());
+        requests.push(requests[2].clone());
+        let reference: Vec<_> = requests.iter().map(|r| unbounded.generate_one(r)).collect();
+        for workers in [1usize, 4, 8] {
+            let subject = bounded.generate_batch_with(&requests, workers);
+            prop_assert_eq!(reference.len(), subject.len());
+            for (r, s) in reference.iter().zip(&subject) {
+                match (r, s) {
+                    (Ok(a), Ok(b)) => assert_generated_identical(a, b),
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                    _ => prop_assert!(
+                        false,
+                        "bounded/unbounded disagree on success at {} workers",
+                        workers
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn the_bound_actually_bites() {
+    // The equivalence above is vacuous if the bound never evicts; pin
+    // the pressure: capacity is respected and CLOCK churn is non-zero,
+    // while the unbounded reference never evicts.
+    let (unbounded, bounded) = models();
+    for k in 0..5u64 {
+        let req = GenRequest::nodes(20 + k as usize).seeded(900 + k);
+        let a = unbounded.generate_one(&req).unwrap();
+        let b = bounded.generate_one(&req).unwrap();
+        assert_generated_identical(&a, &b);
+    }
+    let cap = bounded.config().cone_cache_capacity();
+    assert_eq!(cap, 3);
+    assert!(
+        bounded.cone_cache().entries() <= cap * bounded.cone_cache().shard_count(),
+        "resident entries must respect the per-shard bound"
+    );
+    assert!(
+        bounded.cone_cache().total_stats().evictions > 0,
+        "this workload must force CLOCK eviction for the battery to bite"
+    );
+    assert_eq!(unbounded.cone_cache().total_stats().evictions, 0);
+}

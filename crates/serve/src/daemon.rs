@@ -1,0 +1,444 @@
+//! In-process work-queue serving daemon.
+//!
+//! The daemon fronts [`ModelRegistry`] + [`SynCircuit::generate_one`]
+//! with the three things a batch pipeline lacks:
+//!
+//! 1. **Admission control** — the request queue is bounded; a
+//!    submission past the high-water mark is rejected immediately with
+//!    [`ServeError::Overloaded`] instead of buffering without bound.
+//!    Callers see backpressure as a typed error, never a deadlock or an
+//!    OOM.
+//! 2. **Tenant fairness** — queued work lives in per-tenant lanes and
+//!    workers drain them round-robin, so one tenant flooding the queue
+//!    delays its own backlog, not everyone else's.
+//! 3. **Crash-free shutdown** — [`Daemon::shutdown`] stops admitting,
+//!    drains every queued job, joins the workers, and fails any job
+//!    that could never run (no workers configured) with
+//!    [`ServeError::ShuttingDown`]; no ticket is ever left hanging.
+//!
+//! Everything is std-only: scoped ownership via `Arc`, a `Mutex` +
+//! `Condvar` work queue, and plain `std::thread` workers. Serving is
+//! deterministic end to end — a [`GenRequest`] with an explicit seed
+//! produces the same design whether it ran through the daemon or
+//! directly against a freshly loaded model (property-tested in
+//! `tests/registry_equivalence.rs`).
+
+use crate::error::ServeError;
+use crate::registry::{ModelRegistry, RegistryBudget};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use syncircuit_core::{GenRequest, Generated};
+
+/// Configuration of a [`Daemon`].
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads serving the queue. `0` runs the daemon in
+    /// admission-only mode (jobs queue but never execute until
+    /// shutdown fails them) — useful for testing admission control
+    /// and scheduling order deterministically.
+    pub workers: usize,
+    /// High-water mark of the request queue: submissions while this
+    /// many jobs are queued are rejected with
+    /// [`ServeError::Overloaded`]. Must be at least 1.
+    pub queue_capacity: usize,
+    /// Residency budget of the daemon's model registry.
+    pub budget: RegistryBudget,
+}
+
+impl Default for DaemonConfig {
+    /// One worker per available core, a 1024-deep queue, and an
+    /// unlimited registry.
+    fn default() -> Self {
+        DaemonConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 1024,
+            budget: RegistryBudget::unlimited(),
+        }
+    }
+}
+
+/// Counters reported by [`Daemon::shutdown`] and [`Daemon::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Requests admitted and completed (successfully or with a model
+    /// error).
+    pub served: u64,
+    /// Submissions rejected at admission (overload or shutdown).
+    pub rejected: u64,
+    /// Jobs currently queued (always 0 after shutdown).
+    pub queued: usize,
+}
+
+/// One queued generation job.
+struct Job {
+    model: String,
+    request: GenRequest,
+    slot: Arc<TicketShared>,
+}
+
+/// The rendezvous cell a [`Ticket`] waits on.
+struct TicketShared {
+    result: Mutex<Option<Result<Generated, ServeError>>>,
+    cv: Condvar,
+}
+
+/// A handle to one admitted request; redeem it with [`Ticket::wait`].
+#[must_use = "an unredeemed ticket discards the response"]
+pub struct Ticket {
+    slot: Arc<TicketShared>,
+}
+
+impl Ticket {
+    /// Blocks until the daemon has served (or failed) the request and
+    /// returns the outcome. Every admitted ticket resolves: workers
+    /// fill it on completion, and shutdown fails stranded jobs with
+    /// [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<Generated, ServeError> {
+        let mut guard = self.slot.result.lock().expect("ticket poisoned");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.slot.cv.wait(guard).expect("ticket poisoned");
+        }
+    }
+}
+
+/// Per-tenant lanes drained round-robin. Lanes are kept in first-seen
+/// tenant order (never removed), so the scheduling order is a pure
+/// function of the submission sequence — deterministic and testable.
+#[derive(Default)]
+struct Queues {
+    lanes: Vec<(String, VecDeque<Job>)>,
+    cursor: usize,
+    queued: usize,
+    shutting_down: bool,
+}
+
+impl Queues {
+    fn push(&mut self, tenant: &str, job: Job) {
+        match self.lanes.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, lane)) => lane.push_back(job),
+            None => {
+                let mut lane = VecDeque::new();
+                lane.push_back(job);
+                self.lanes.push((tenant.to_string(), lane));
+            }
+        }
+        self.queued += 1;
+    }
+
+    /// Pops the next job round-robin, starting at the lane after the
+    /// previously drained one and skipping empty lanes.
+    fn pop_round_robin(&mut self) -> Option<Job> {
+        if self.queued == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        for offset in 0..n {
+            let idx = (self.cursor + offset) % n;
+            if let Some(job) = self.lanes[idx].1.pop_front() {
+                self.cursor = (idx + 1) % n;
+                self.queued -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    work_cv: Condvar,
+    registry: ModelRegistry,
+    queue_capacity: usize,
+    served: std::sync::atomic::AtomicU64,
+    rejected: std::sync::atomic::AtomicU64,
+}
+
+/// The serving daemon (see the module docs).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Starts the daemon: spawns `config.workers` worker threads over a
+    /// fresh registry with `config.budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queue_capacity` is 0 (a daemon that admits
+    /// nothing is a misconfiguration, not a serving policy).
+    pub fn start(config: DaemonConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues::default()),
+            work_cv: Condvar::new(),
+            registry: ModelRegistry::new(config.budget),
+            queue_capacity: config.queue_capacity,
+            served: std::sync::atomic::AtomicU64::new(0),
+            rejected: std::sync::atomic::AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("syncircuit-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Daemon { shared, workers }
+    }
+
+    /// Submits a generation request on behalf of `tenant` against the
+    /// model artifact at `model_path`. Returns immediately with a
+    /// [`Ticket`] on admission.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::Overloaded`] when the queue is at its high-water
+    ///   mark (the submission is shed, not buffered).
+    /// - [`ServeError::ShuttingDown`] when shutdown has begun.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        model_path: &str,
+        request: GenRequest,
+    ) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering;
+        let slot = Arc::new(TicketShared {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+            if queues.shutting_down {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ShuttingDown);
+            }
+            if queues.queued >= self.shared.queue_capacity {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.queue_capacity,
+                });
+            }
+            queues.push(
+                tenant,
+                Job {
+                    model: model_path.to_string(),
+                    request,
+                    slot: slot.clone(),
+                },
+            );
+        }
+        self.shared.work_cv.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// The daemon's model registry (for telemetry; e.g. eviction
+    /// counts under budget pressure).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> DaemonStats {
+        use std::sync::atomic::Ordering;
+        DaemonStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            queued: self.shared.queues.lock().expect("daemon poisoned").queued,
+        }
+    }
+
+    /// Stops admitting, drains every queued job, joins the workers, and
+    /// fails jobs that could never run (admission-only mode) with
+    /// [`ServeError::ShuttingDown`]. Returns the final counters.
+    pub fn shutdown(mut self) -> DaemonStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("serve worker panicked");
+        }
+        self.fail_stranded();
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+        queues.shutting_down = true;
+        drop(queues);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Fails every still-queued job (only possible with zero workers —
+    /// workers drain the queue before exiting).
+    fn fail_stranded(&self) {
+        let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+        while let Some(job) = queues.pop_round_robin() {
+            fill(&job.slot, Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    /// Safety net for daemons dropped without [`Daemon::shutdown`]:
+    /// signals shutdown, joins workers, and resolves stranded tickets
+    /// so no waiter blocks forever.
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.fail_stranded();
+    }
+}
+
+fn fill(slot: &TicketShared, outcome: Result<Generated, ServeError>) {
+    let mut guard = slot.result.lock().expect("ticket poisoned");
+    *guard = Some(outcome);
+    drop(guard);
+    slot.cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    use std::sync::atomic::Ordering;
+    loop {
+        let job = {
+            let mut queues = shared.queues.lock().expect("daemon poisoned");
+            loop {
+                if let Some(job) = queues.pop_round_robin() {
+                    break job;
+                }
+                if queues.shutting_down {
+                    return; // drained and shutting down
+                }
+                queues = shared.work_cv.wait(queues).expect("daemon poisoned");
+            }
+        };
+        // Serve outside the queue lock: model resolution and generation
+        // are the expensive part and must overlap across workers.
+        let outcome = shared
+            .registry
+            .get_or_load(&job.model)
+            .and_then(|model| model.generate_one(&job.request).map_err(ServeError::Model));
+        fill(&job.slot, outcome);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_job(tag: &str) -> Job {
+        Job {
+            model: tag.to_string(),
+            request: GenRequest::nodes(8),
+            slot: Arc::new(TicketShared {
+                result: Mutex::new(None),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut q = Queues::default();
+        // Tenant a floods first; b and c trickle in after.
+        for i in 0..3 {
+            q.push("a", probe_job(&format!("a{i}")));
+        }
+        q.push("b", probe_job("b0"));
+        q.push("c", probe_job("c0"));
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_round_robin())
+            .map(|j| j.model)
+            .collect();
+        assert_eq!(order, ["a0", "b0", "c0", "a1", "a2"]);
+        assert_eq!(q.queued, 0);
+    }
+
+    #[test]
+    fn round_robin_resumes_after_refill() {
+        let mut q = Queues::default();
+        q.push("a", probe_job("a0"));
+        q.push("b", probe_job("b0"));
+        assert_eq!(q.pop_round_robin().unwrap().model, "a0");
+        // New work for a arrives before b is drained; b still goes next.
+        q.push("a", probe_job("a1"));
+        assert_eq!(q.pop_round_robin().unwrap().model, "b0");
+        assert_eq!(q.pop_round_robin().unwrap().model, "a1");
+        assert!(q.pop_round_robin().is_none());
+    }
+
+    #[test]
+    fn admission_rejects_past_high_water_mark() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 0,
+            queue_capacity: 2,
+            budget: RegistryBudget::unlimited(),
+        });
+        let t1 = daemon.submit("a", "m", GenRequest::nodes(8)).unwrap();
+        let t2 = daemon.submit("b", "m", GenRequest::nodes(8)).unwrap();
+        match daemon.submit("c", "m", GenRequest::nodes(8)) {
+            Err(ServeError::Overloaded { capacity: 2 }) => {}
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(daemon.stats().rejected, 1);
+        assert_eq!(daemon.stats().queued, 2);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.queued, 0, "shutdown leaves nothing queued");
+        for t in [t1, t2] {
+            assert_eq!(t.wait().unwrap_err(), ServeError::ShuttingDown);
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 0,
+            queue_capacity: 4,
+            budget: RegistryBudget::unlimited(),
+        });
+        daemon.begin_shutdown();
+        match daemon.submit("a", "m", GenRequest::nodes(8)) {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_a_misconfiguration() {
+        let result = std::panic::catch_unwind(|| {
+            Daemon::start(DaemonConfig {
+                workers: 0,
+                queue_capacity: 0,
+                budget: RegistryBudget::unlimited(),
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn drop_without_shutdown_resolves_tickets() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 0,
+            queue_capacity: 4,
+            budget: RegistryBudget::unlimited(),
+        });
+        let ticket = daemon.submit("a", "m", GenRequest::nodes(8)).unwrap();
+        drop(daemon);
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed serving-layer errors.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error surfaced by the serving daemon or its model registry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The request queue is at its high-water mark; the daemon sheds
+    /// load instead of buffering without bound. Back off and retry.
+    Overloaded {
+        /// The configured queue capacity the submission bounced off.
+        capacity: usize,
+    },
+    /// The daemon is shutting down and no longer admits (or, for jobs
+    /// stranded without workers, completes) requests.
+    ShuttingDown,
+    /// Loading the model artifact or serving the generation request
+    /// failed; carries the pipeline's typed error (persistence failures
+    /// name the offending artifact path).
+    Model(syncircuit_core::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => write!(
+                f,
+                "request queue is at its high-water mark ({capacity} queued); retry later"
+            ),
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::Model(e) => write!(f, "model serving failed: {e}"),
+        }
+    }
+}
+
+impl StdError for ServeError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::Overloaded { .. } | ServeError::ShuttingDown => None,
+        }
+    }
+}
+
+impl From<syncircuit_core::Error> for ServeError {
+    fn from(e: syncircuit_core::Error) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(format!("{}", ServeError::Overloaded { capacity: 8 }).contains("8"));
+        assert!(format!("{}", ServeError::ShuttingDown).contains("shutting down"));
+        let e = ServeError::from(syncircuit_core::Error::EmptyCorpus);
+        assert!(format!("{e}").contains("serving failed"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        assert!(ServeError::Model(syncircuit_core::Error::EmptyCorpus)
+            .source()
+            .is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! In-process serving daemon for trained SynCircuit models.
+//!
+//! The batch pipeline (`syncircuit-core`) answers "generate N designs
+//! from this model"; this crate answers "keep answering generation
+//! requests for *many* models, from *many* tenants, on a machine with
+//! finite memory, without falling over". Three pieces compose:
+//!
+//! - [`ModelRegistry`] — artifacts resident keyed by path, shared via
+//!   `Arc`, LRU-evicted under a configurable [`RegistryBudget`]
+//!   (entry and/or byte limits). Because model artifacts round-trip
+//!   bit-exactly, eviction is always safe: a reloaded model serves
+//!   byte-identical designs.
+//! - [`Daemon`] — a std-only work-queue daemon (`Mutex` + `Condvar`,
+//!   plain threads). Admission control sheds load past a bounded
+//!   queue's high-water mark with [`ServeError::Overloaded`]; queued
+//!   work sits in per-tenant lanes drained round-robin so no tenant
+//!   starves another; shutdown drains the queue and resolves every
+//!   outstanding [`Ticket`].
+//! - [`ServeError`] — the typed surface callers program against:
+//!   `Overloaded` means back off and retry, `ShuttingDown` means stop,
+//!   `Model` wraps the pipeline's own error (persistence failures name
+//!   the offending artifact path).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use syncircuit_core::GenRequest;
+//! use syncircuit_serve::{Daemon, DaemonConfig, RegistryBudget};
+//!
+//! # fn main() -> Result<(), syncircuit_serve::ServeError> {
+//! let daemon = Daemon::start(DaemonConfig {
+//!     workers: 4,
+//!     queue_capacity: 256,
+//!     budget: RegistryBudget::max_models(2),
+//! });
+//! let ticket = daemon.submit("tenant-a", "models/a.json", GenRequest::nodes(64))?;
+//! let design = ticket.wait()?;
+//! assert!(design.graph.is_valid());
+//! daemon.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Determinism carries through the daemon: a seeded request produces
+//! the same design whether served here (under any worker count or
+//! eviction pressure) or generated directly from a freshly loaded
+//! model. `tests/registry_equivalence.rs` property-tests exactly that.
+
+#![warn(missing_docs)]
+
+mod daemon;
+mod error;
+mod registry;
+
+pub use daemon::{Daemon, DaemonConfig, DaemonStats, Ticket};
+pub use error::ServeError;
+pub use registry::{ModelRegistry, RegistryBudget, RegistryStats};

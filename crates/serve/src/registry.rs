@@ -1,0 +1,374 @@
+//! Multi-tenant model registry: many artifacts resident at once, keyed
+//! by artifact path, LRU-evicted under a configurable byte/entry
+//! budget.
+//!
+//! The registry is the daemon's answer to "a fleet serves many models
+//! from one library, but memory is finite": a resolved model stays
+//! resident (one [`Arc<SynCircuit>`] shared by every in-flight request
+//! for it) until the budget forces the least-recently-used artifact
+//! out. Eviction is safe by construction:
+//!
+//! - **in-flight requests are unaffected** — they hold their own `Arc`,
+//!   so an evicted model finishes its current work and is freed when
+//!   the last request drops it;
+//! - **eviction ≡ reload** — model artifacts round-trip bit-exactly
+//!   ([`SynCircuit::save`] / [`SynCircuit::load`]), so a model that
+//!   cycles out and reloads serves byte-identical designs to one that
+//!   stayed resident the whole time (property-tested in
+//!   `tests/registry_equivalence.rs`). The only state an eviction
+//!   discards is the model's warm cone-synthesis cache — work, never
+//!   bytes.
+//!
+//! A model's budget cost is its artifact's rendered size in bytes (the
+//! exact on-disk length the registry read), so byte budgets track real
+//! artifact weight rather than a guess.
+
+use crate::error::ServeError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use syncircuit_core::{PersistError, SynCircuit};
+
+/// Residency budget of a [`ModelRegistry`]. Zero fields are unlimited;
+/// with both limits set, eviction runs until *both* hold. The most
+/// recently resolved model is always kept, even when it alone exceeds
+/// the byte budget — a registry that cannot hold one model cannot serve
+/// at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryBudget {
+    /// Maximum resident models (`0` = unlimited).
+    pub max_models: usize,
+    /// Maximum summed artifact bytes of resident models (`0` =
+    /// unlimited).
+    pub max_bytes: usize,
+}
+
+impl RegistryBudget {
+    /// Unlimited residency (every model loaded stays resident).
+    pub fn unlimited() -> Self {
+        RegistryBudget::default()
+    }
+
+    /// At most `n` resident models, unlimited bytes.
+    pub fn max_models(n: usize) -> Self {
+        RegistryBudget {
+            max_models: n,
+            max_bytes: 0,
+        }
+    }
+
+    /// At most `n` summed artifact bytes, unlimited model count.
+    pub fn max_bytes(n: usize) -> Self {
+        RegistryBudget {
+            max_models: 0,
+            max_bytes: n,
+        }
+    }
+}
+
+/// Counters and residency snapshot of a [`ModelRegistry`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookups served by a resident model.
+    pub hits: u64,
+    /// Artifact loads (cold lookups and reloads after eviction).
+    pub loads: u64,
+    /// Models evicted under budget pressure.
+    pub evictions: u64,
+    /// Models currently resident.
+    pub resident: usize,
+    /// Summed artifact bytes of resident models.
+    pub resident_bytes: usize,
+}
+
+/// One resident model with its LRU bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    model: Arc<SynCircuit>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    resident: HashMap<String, Entry>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    loads: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    /// Evicts least-recently-used entries (never `keep`) until the
+    /// budget holds or only `keep` remains.
+    fn evict_over_budget(&mut self, budget: RegistryBudget, keep: &str) -> u64 {
+        let mut evicted = 0;
+        loop {
+            let over_models = budget.max_models > 0 && self.resident.len() > budget.max_models;
+            let over_bytes = budget.max_bytes > 0 && self.bytes > budget.max_bytes;
+            if !(over_models || over_bytes) {
+                break;
+            }
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(path, _)| path.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(path, _)| path.clone());
+            let Some(victim) = victim else {
+                break; // only `keep` remains; serve it even over budget
+            };
+            let entry = self.resident.remove(&victim).expect("victim is resident");
+            self.bytes -= entry.bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Multi-tenant LRU model registry (see the module docs).
+///
+/// Thread-safe: every daemon worker resolves models through one shared
+/// registry. The artifact *load* runs outside the registry lock, so a
+/// cold model does not stall hits on resident models; two workers
+/// racing on one cold path may both parse the artifact, but the first
+/// to publish wins and both serve the same model (artifact loading is
+/// deterministic).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    budget: RegistryBudget,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// Registry with the given residency budget.
+    pub fn new(budget: RegistryBudget) -> Self {
+        ModelRegistry {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured residency budget.
+    pub fn budget(&self) -> RegistryBudget {
+        self.budget
+    }
+
+    /// Resolves the model stored at artifact `path`, loading it if not
+    /// resident and LRU-evicting past the budget. The returned `Arc`
+    /// stays valid even if the registry evicts the model afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the artifact cannot be read
+    /// or parsed (the message names `path`).
+    pub fn get_or_load(&self, path: &str) -> Result<Arc<SynCircuit>, ServeError> {
+        {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.resident.get_mut(path) {
+                entry.last_used = tick;
+                let model = entry.model.clone();
+                inner.hits += 1;
+                return Ok(model);
+            }
+        }
+        // Cold: read + parse outside the lock so resident models keep
+        // serving while this artifact loads.
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ServeError::Model(PersistError::Io(format!("{path}: {e}")).into())
+        })?;
+        let model = Arc::new(SynCircuit::from_json(&text)?);
+        let bytes = text.len();
+
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.loads += 1;
+        if let Some(entry) = inner.resident.get_mut(path) {
+            // A racer published while we parsed; serve its copy so every
+            // in-flight request for one path shares one resident model.
+            entry.last_used = tick;
+            return Ok(entry.model.clone());
+        }
+        inner.resident.insert(
+            path.to_string(),
+            Entry {
+                model: model.clone(),
+                bytes,
+                last_used: tick,
+            },
+        );
+        inner.bytes += bytes;
+        inner.evict_over_budget(self.budget, path);
+        Ok(model)
+    }
+
+    /// Evicts every resident model (in-flight `Arc`s stay valid).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let evicted = inner.resident.len() as u64;
+        inner.resident.clear();
+        inner.bytes = 0;
+        inner.evictions += evicted;
+    }
+
+    /// Current counters and residency snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry poisoned");
+        RegistryStats {
+            hits: inner.hits,
+            loads: inner.loads,
+            evictions: inner.evictions,
+            resident: inner.resident.len(),
+            resident_bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::path::PathBuf;
+    use syncircuit_core::{Error, GenRequest, PipelineConfig};
+    use syncircuit_graph::testing::random_circuit_with_size;
+
+    fn save_tiny_model(dir: &std::path::Path, seed: u64) -> PathBuf {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus: Vec<_> = (0..2)
+            .map(|_| random_circuit_with_size(&mut rng, 18))
+            .collect();
+        let model =
+            SynCircuit::fit(&corpus, PipelineConfig::builder().seed(seed).build().unwrap())
+                .unwrap();
+        let path = dir.join(format!("model_{seed}.json"));
+        model.save(&path).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "syncircuit-registry-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resident_models_hit_without_reloading() {
+        let dir = temp_dir("hits");
+        let path = save_tiny_model(&dir, 1).display().to_string();
+        let reg = ModelRegistry::new(RegistryBudget::unlimited());
+        let a = reg.get_or_load(&path).unwrap();
+        let b = reg.get_or_load(&path).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the resident model");
+        let s = reg.stats();
+        assert_eq!((s.loads, s.hits, s.evictions), (1, 1, 0));
+        assert_eq!(s.resident, 1);
+        assert!(s.resident_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_budget_evicts_lru_first() {
+        let dir = temp_dir("lru");
+        let paths: Vec<String> = (1..=3)
+            .map(|s| save_tiny_model(&dir, s).display().to_string())
+            .collect();
+        let reg = ModelRegistry::new(RegistryBudget::max_models(2));
+        reg.get_or_load(&paths[0]).unwrap();
+        reg.get_or_load(&paths[1]).unwrap();
+        reg.get_or_load(&paths[0]).unwrap(); // 0 is now more recent than 1
+        reg.get_or_load(&paths[2]).unwrap(); // evicts 1, the LRU
+        assert_eq!(reg.stats().resident, 2);
+        assert_eq!(reg.stats().evictions, 1);
+        // 0 and 2 are resident (hits); 1 reloads.
+        let loads_before = reg.stats().loads;
+        reg.get_or_load(&paths[0]).unwrap();
+        reg.get_or_load(&paths[2]).unwrap();
+        assert_eq!(reg.stats().loads, loads_before, "0 and 2 stayed resident");
+        reg.get_or_load(&paths[1]).unwrap();
+        assert_eq!(reg.stats().loads, loads_before + 1, "1 was the eviction victim");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_budget_keeps_at_least_the_newest_model() {
+        let dir = temp_dir("bytes");
+        let p1 = save_tiny_model(&dir, 1).display().to_string();
+        let p2 = save_tiny_model(&dir, 2).display().to_string();
+        // A 1-byte budget cannot hold any artifact; the registry still
+        // serves by keeping exactly the newest resident.
+        let reg = ModelRegistry::new(RegistryBudget::max_bytes(1));
+        reg.get_or_load(&p1).unwrap();
+        assert_eq!(reg.stats().resident, 1, "sole model is kept over budget");
+        reg.get_or_load(&p2).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.resident, 1, "older model evicted to approach the budget");
+        assert_eq!(s.evictions, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_equals_reload_byte_identity() {
+        // The registry's core guarantee: a model that cycled out and
+        // reloaded generates byte-identical designs.
+        let dir = temp_dir("identity");
+        let p1 = save_tiny_model(&dir, 7).display().to_string();
+        let p2 = save_tiny_model(&dir, 8).display().to_string();
+        let reg = ModelRegistry::new(RegistryBudget::max_models(1));
+        let req = GenRequest::nodes(24).seeded(5);
+        let before = reg.get_or_load(&p1).unwrap().generate_one(&req).unwrap();
+        reg.get_or_load(&p2).unwrap(); // evicts p1
+        assert_eq!(reg.stats().evictions, 1);
+        let after = reg.get_or_load(&p1).unwrap().generate_one(&req).unwrap();
+        assert_eq!(before.graph, after.graph);
+        assert_eq!(before.gval, after.gval);
+        assert_eq!(before.seed, after.seed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_flight_arcs_survive_eviction() {
+        let dir = temp_dir("inflight");
+        let p1 = save_tiny_model(&dir, 3).display().to_string();
+        let p2 = save_tiny_model(&dir, 4).display().to_string();
+        let reg = ModelRegistry::new(RegistryBudget::max_models(1));
+        let held = reg.get_or_load(&p1).unwrap();
+        reg.get_or_load(&p2).unwrap(); // evicts p1 from the registry
+        // The held Arc still serves.
+        let out = held.generate_one(&GenRequest::nodes(20).seeded(1)).unwrap();
+        assert!(out.graph.is_valid());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_failures_name_the_artifact() {
+        let reg = ModelRegistry::new(RegistryBudget::unlimited());
+        let err = reg.get_or_load("/no/such/artifact.json").unwrap_err();
+        match err {
+            ServeError::Model(Error::Persist(PersistError::Io(msg))) => {
+                assert!(msg.contains("/no/such/artifact.json"), "{msg}");
+            }
+            other => panic!("expected a path-bearing Io error, got {other:?}"),
+        }
+        assert_eq!(reg.stats().resident, 0);
+    }
+
+    #[test]
+    fn clear_resets_residency() {
+        let dir = temp_dir("clear");
+        let p = save_tiny_model(&dir, 9).display().to_string();
+        let reg = ModelRegistry::new(RegistryBudget::unlimited());
+        reg.get_or_load(&p).unwrap();
+        reg.clear();
+        let s = reg.stats();
+        assert_eq!((s.resident, s.resident_bytes), (0, 0));
+        assert_eq!(s.evictions, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

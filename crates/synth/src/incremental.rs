@@ -29,6 +29,13 @@
 //! Standalone cone circuits are only materialized on cache misses, and
 //! synthesis runs *outside* the shard lock.
 //!
+//! Long-lived serving processes bound the table with a per-shard entry
+//! capacity (CLOCK / second-chance eviction, see
+//! [`SharedConeSynthCache::with_shards_and_capacity`]); because the
+//! table memoizes a pure function of the structural key, bounding never
+//! changes returned areas — an evicted cone is simply re-synthesized on
+//! its next miss.
+//!
 //! The decomposed metric is deliberately *not* bit-identical to
 //! whole-design PCS — global CSE can merge logic across cones, which no
 //! cone-local scheme can observe — but it is deterministic,
@@ -48,19 +55,22 @@
 use crate::area::CellLibrary;
 use crate::passes::optimized_area;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use syncircuit_graph::cone::{cone_circuit_parts, fanin_cone_into, ConeScratch};
 use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
 
-/// Aggregate cache hit/miss counters of a cone-synthesis cache.
+/// Aggregate cache hit/miss/eviction counters of a cone-synthesis cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConeCacheStats {
     /// Cone synthesis results served from the cache.
     pub hits: u64,
     /// Cone synthesis runs actually executed.
     pub misses: u64,
+    /// Memoized entries displaced by the CLOCK policy (always 0 for an
+    /// unbounded table).
+    pub evictions: u64,
 }
 
 /// Per-shard counters of a [`SharedConeSynthCache`]
@@ -71,6 +81,8 @@ pub struct ConeShardStats {
     pub hits: u64,
     /// Cone synthesis runs this shard recorded as misses.
     pub misses: u64,
+    /// Entries this shard displaced under capacity pressure.
+    pub evictions: u64,
     /// Memoized cone entries currently stored in this shard.
     pub entries: usize,
 }
@@ -193,12 +205,96 @@ impl ObservedScratch {
 /// Default stripe count of a [`SharedConeSynthCache`].
 pub const DEFAULT_SHARD_COUNT: usize = 16;
 
-/// One lock stripe: a mutex-guarded memo map plus lock-free counters.
+/// One memoized cone entry plus its CLOCK reference bit.
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    area: f64,
+    referenced: bool,
+}
+
+/// What publishing a synthesized area into a shard did.
+enum Published {
+    /// The key was already present (a racer won); its stored area.
+    Already(f64),
+    /// Stored in a fresh slot (shard grew by one entry).
+    Grew,
+    /// Stored by displacing the CLOCK victim (entry count unchanged).
+    Evicted,
+}
+
+/// The mutex-guarded part of one lock stripe: a key → slot index plus
+/// the slot arena the CLOCK hand sweeps. With `capacity == 0` the arena
+/// grows monotonically (the pre-bounding behavior); otherwise it holds
+/// at most `capacity` slots and inserts displace the second-chance
+/// victim.
+#[derive(Debug, Default)]
+struct ShardMap {
+    index: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+impl ShardMap {
+    /// Looks `key` up, setting its reference bit on a hit.
+    fn get(&mut self, key: u64) -> Option<f64> {
+        let &i = self.index.get(&key)?;
+        self.slots[i].referenced = true;
+        Some(self.slots[i].area)
+    }
+
+    /// Publishes `key → area`, evicting the CLOCK victim when the shard
+    /// is at `capacity`. New entries start referenced, so they survive
+    /// one full hand sweep before becoming eviction candidates.
+    fn publish(&mut self, key: u64, area: f64, capacity: usize) -> Published {
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].referenced = true;
+            return Published::Already(self.slots[i].area);
+        }
+        if capacity == 0 || self.slots.len() < capacity {
+            self.index.insert(key, self.slots.len());
+            self.slots.push(Slot {
+                key,
+                area,
+                referenced: true,
+            });
+            return Published::Grew;
+        }
+        // Second chance: clear reference bits until an unreferenced slot
+        // comes under the hand (terminates within two sweeps).
+        loop {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            if self.slots[self.hand].referenced {
+                self.slots[self.hand].referenced = false;
+                self.hand += 1;
+            } else {
+                let victim = &mut self.slots[self.hand];
+                self.index.remove(&victim.key);
+                *victim = Slot {
+                    key,
+                    area,
+                    referenced: true,
+                };
+                self.index.insert(key, self.hand);
+                self.hand += 1;
+                return Published::Evicted;
+            }
+        }
+    }
+}
+
+/// One lock stripe: the CLOCK-managed memo arena plus lock-free
+/// counters. `entries` mirrors `map.slots.len()` so telemetry reads
+/// ([`SharedConeSynthCache::stats`]) never take the map lock.
 #[derive(Debug, Default)]
 struct Shard {
-    areas: Mutex<HashMap<u64, f64>>,
+    map: Mutex<ShardMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicUsize,
 }
 
 /// Lock-striped, thread-shareable memo table of per-cone synthesis
@@ -209,20 +305,37 @@ struct Shard {
 /// uniformly mixed), striped over power-of-two shards by their low
 /// bits. Values are a pure function of
 /// the key, so concurrent insertion races are benign: every racer
-/// computes identical bits, and `entry().or_insert()` keeps the first.
+/// computes identical bits, and publishing keeps the first.
 ///
 /// Workers never hold a shard lock while synthesizing — a miss releases
 /// the lock, synthesizes the cone standalone, and re-locks to publish.
 ///
-/// The hit/miss counters can be disabled
+/// # Bounding
+///
+/// A per-shard capacity ([`SharedConeSynthCache::with_shards_and_capacity`])
+/// caps residency: past it, inserts displace a CLOCK / second-chance
+/// victim (hits set a reference bit; the sweeping hand evicts the first
+/// unreferenced slot). Because the table memoizes a **pure function** of
+/// the structural key, eviction can only cause re-synthesis — never a
+/// different area — so a bounded table returns byte-identical results to
+/// an unbounded one (property-tested in
+/// `syncircuit-core/tests/bounded_cache_equivalence.rs`). Capacity `0`
+/// means unbounded (the long-lived-process default before serving
+/// budgets existed).
+///
+/// The hit/miss/eviction counters can be disabled
 /// ([`SharedConeSynthCache::set_stats_enabled`]); they are pure
 /// telemetry and never influence the returned areas (tested in
-/// `stats_toggle_does_not_drift`).
+/// `stats_toggle_does_not_drift`). Per-shard entry counts are mirrored
+/// in lock-free atomics, so reading [`SharedConeSynthCache::stats`]
+/// never contends with serving workers on the shard locks.
 #[derive(Debug)]
 pub struct SharedConeSynthCache {
     lib: CellLibrary,
     shards: Box<[Shard]>,
     mask: u64,
+    /// Per-shard slot capacity (`0` = unbounded).
+    capacity: usize,
     stats_enabled: AtomicBool,
 }
 
@@ -245,8 +358,19 @@ impl SharedConeSynthCache {
     }
 
     /// Shared cache with an explicit stripe count (rounded up to the
-    /// next power of two; `0` means [`DEFAULT_SHARD_COUNT`]).
+    /// next power of two; `0` means [`DEFAULT_SHARD_COUNT`]), unbounded.
     pub fn with_shards(lib: CellLibrary, shards: usize) -> Self {
+        Self::with_shards_and_capacity(lib, shards, 0)
+    }
+
+    /// Shared cache with an explicit stripe count and a per-shard entry
+    /// capacity. `capacity == 0` means unbounded; otherwise each shard
+    /// holds at most `capacity` memoized cones and further inserts evict
+    /// a CLOCK / second-chance victim. Bounding never changes returned
+    /// areas (the table memoizes a pure function of the key) — it only
+    /// trades recall for a residency ceiling of
+    /// `shards × capacity` entries.
+    pub fn with_shards_and_capacity(lib: CellLibrary, shards: usize, capacity: usize) -> Self {
         let count = match shards {
             0 => DEFAULT_SHARD_COUNT,
             n => n.next_power_of_two(),
@@ -255,6 +379,7 @@ impl SharedConeSynthCache {
             lib,
             shards: (0..count).map(|_| Shard::default()).collect(),
             mask: count as u64 - 1,
+            capacity,
             stats_enabled: AtomicBool::new(true),
         }
     }
@@ -262,6 +387,11 @@ impl SharedConeSynthCache {
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Per-shard entry capacity (`0` = unbounded).
+    pub fn per_shard_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The cell library cone misses are synthesized against.
@@ -275,10 +405,15 @@ impl SharedConeSynthCache {
         self.stats_enabled.store(enabled, Ordering::Relaxed);
     }
 
-    /// Per-shard hit/miss/entry counters, in shard order.
+    /// Per-shard hit/miss/eviction/entry counters, in shard order.
     ///
-    /// Under concurrency the counters are schedule-dependent (two
-    /// workers racing on one cold key may record two misses); the
+    /// Lock-free: every field is read from per-shard atomics (entry
+    /// counts are mirrored on insert/evict), so telemetry polling never
+    /// contends with serving workers — even with counting disabled via
+    /// [`SharedConeSynthCache::set_stats_enabled`].
+    ///
+    /// Under concurrency the hit/miss counters are schedule-dependent
+    /// (two workers racing on one cold key may record two misses); the
     /// memoized areas never are.
     pub fn stats(&self) -> Vec<ConeShardStats> {
         self.shards
@@ -286,26 +421,29 @@ impl SharedConeSynthCache {
             .map(|s| ConeShardStats {
                 hits: s.hits.load(Ordering::Relaxed),
                 misses: s.misses.load(Ordering::Relaxed),
-                entries: s.areas.lock().expect("cone shard poisoned").len(),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                entries: s.entries.load(Ordering::Relaxed),
             })
             .collect()
     }
 
-    /// Hit/miss counters summed over all shards.
+    /// Hit/miss/eviction counters summed over all shards.
     pub fn total_stats(&self) -> ConeCacheStats {
         let mut total = ConeCacheStats::default();
         for s in self.shards.iter() {
             total.hits += s.hits.load(Ordering::Relaxed);
             total.misses += s.misses.load(Ordering::Relaxed);
+            total.evictions += s.evictions.load(Ordering::Relaxed);
         }
         total
     }
 
-    /// Total memoized cone entries over all shards.
+    /// Total memoized cone entries over all shards (lock-free; the
+    /// counts are mirrored in per-shard atomics on insert/evict).
     pub fn entries(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.areas.lock().expect("cone shard poisoned").len())
+            .map(|s| s.entries.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -317,7 +455,7 @@ impl SharedConeSynthCache {
     /// `synth` runs outside the shard lock.
     fn area_or_insert(&self, key: u64, synth: impl FnOnce(&CellLibrary) -> f64) -> f64 {
         let shard = self.shard(key);
-        if let Some(&a) = shard.areas.lock().expect("cone shard poisoned").get(&key) {
+        if let Some(a) = shard.map.lock().expect("cone shard poisoned").get(key) {
             if self.stats_enabled.load(Ordering::Relaxed) {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -327,12 +465,24 @@ impl SharedConeSynthCache {
             shard.misses.fetch_add(1, Ordering::Relaxed);
         }
         let a = synth(&self.lib);
-        *shard
-            .areas
+        match shard
+            .map
             .lock()
             .expect("cone shard poisoned")
-            .entry(key)
-            .or_insert(a)
+            .publish(key, a, self.capacity)
+        {
+            Published::Already(first) => first,
+            Published::Grew => {
+                shard.entries.fetch_add(1, Ordering::Relaxed);
+                a
+            }
+            Published::Evicted => {
+                if self.stats_enabled.load(Ordering::Relaxed) {
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                a
+            }
+        }
     }
 }
 
@@ -634,6 +784,110 @@ mod tests {
             SharedConeSynthCache::with_shards(CellLibrary::default(), 8).shard_count(),
             8
         );
+    }
+
+    /// A chain of `len` NOT gates feeding a register: every length is a
+    /// structurally distinct cone, so `probe(0..n)` yields `n` distinct
+    /// cache keys.
+    fn probe(len: usize) -> CircuitGraph {
+        let mut g = CircuitGraph::new("probe");
+        let mut prev = g.add_node(NodeType::Input, 8);
+        for _ in 0..len {
+            let n = g.add_node(NodeType::Not, 8);
+            g.set_parents(n, &[prev]).unwrap();
+            prev = n;
+        }
+        let r = g.add_node(NodeType::Reg, 8);
+        let o = g.add_node(NodeType::Output, 8);
+        g.set_parents(r, &[prev]).unwrap();
+        g.set_parents(o, &[r]).unwrap();
+        g
+    }
+
+    #[test]
+    fn bounded_cache_matches_unbounded_bit_for_bit() {
+        // A 1-shard, 2-entry table under heavy churn must return exactly
+        // what the unbounded table does — eviction only costs work.
+        let unbounded = Arc::new(SharedConeSynthCache::new());
+        let bounded = Arc::new(SharedConeSynthCache::with_shards_and_capacity(
+            CellLibrary::default(),
+            1,
+            2,
+        ));
+        assert_eq!(bounded.per_shard_capacity(), 2);
+        let mut u = ConeSynthCache::with_shared(unbounded.clone());
+        let mut b = ConeSynthCache::with_shared(bounded.clone());
+        let graphs: Vec<CircuitGraph> = (0..8).map(probe).collect();
+        for _round in 0..3 {
+            for g in &graphs {
+                assert_eq!(u.pcs(g).to_bits(), b.pcs(g).to_bits());
+            }
+        }
+        assert!(bounded.entries() <= 2, "capacity holds: {}", bounded.entries());
+        let s = bounded.total_stats();
+        assert!(s.evictions > 0, "churn must evict: {s:?}");
+        assert_eq!(
+            unbounded.total_stats().evictions,
+            0,
+            "unbounded table never evicts"
+        );
+    }
+
+    #[test]
+    fn clock_eviction_prefers_unreferenced_slots() {
+        // With capacity 3 and hits keeping two keys referenced, churn
+        // through fresh keys must leave the hot keys resident more often
+        // than not: re-query them and require zero new misses when they
+        // were just re-referenced back-to-back.
+        let shared = Arc::new(SharedConeSynthCache::with_shards_and_capacity(
+            CellLibrary::default(),
+            1,
+            3,
+        ));
+        let mut ev = ConeSynthCache::with_shared(shared.clone());
+        let hot = probe(0);
+        ev.pcs(&hot); // resident, referenced
+        let misses_warm = shared.total_stats().misses;
+        ev.pcs(&hot);
+        assert_eq!(
+            shared.total_stats().misses,
+            misses_warm,
+            "immediate re-query hits"
+        );
+        // Churn far past capacity, then confirm the table still answers
+        // every key correctly (exactness under displacement).
+        let mut cold = ConeSynthCache::new();
+        for len in 0..6 {
+            let g = probe(len);
+            assert_eq!(ev.pcs(&g).to_bits(), cold.pcs(&g).to_bits());
+        }
+        assert!(shared.entries() <= 3);
+    }
+
+    #[test]
+    fn entry_counters_are_lock_free_mirrors() {
+        // stats()/entries() must agree with the locked maps even with
+        // counting disabled (entry mirrors are structural, not
+        // telemetry).
+        let shared = Arc::new(SharedConeSynthCache::with_shards_and_capacity(
+            CellLibrary::default(),
+            2,
+            2,
+        ));
+        shared.set_stats_enabled(false);
+        let mut ev = ConeSynthCache::with_shared(shared.clone());
+        for len in 0..7 {
+            ev.pcs(&probe(len));
+        }
+        let stats = shared.stats();
+        let mirrored: usize = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(mirrored, shared.entries());
+        assert!((1..=4).contains(&mirrored), "within 2 shards x 2 slots");
+        for s in &stats {
+            assert_eq!(s.hits, 0, "telemetry counters stay silent when disabled");
+            assert_eq!(s.misses, 0);
+            assert_eq!(s.evictions, 0);
+        }
     }
 
     #[test]

@@ -32,6 +32,12 @@ example-smoke:
 bench-smoke:
     cargo bench -p syncircuit-bench --bench micro
 
+# serving-daemon smoke: 100 mixed-tenant requests through the daemon
+# under an eviction-forcing registry budget (2 resident models, 4
+# tenants) — must finish with zero errors and a clean shutdown
+serve-smoke:
+    cargo run --release -p syncircuit-bench --bin load-gen -- --requests 100 --tenants 4 --max-resident 2 --inflight 64 --queue 1024
+
 # perf gate: fail when any previously-recorded benchmark's `current`
 # exceeds 1.3x its recorded baseline in BENCH_phase3.json (CI runs
 # this warn-only after bench-smoke refreshes the trajectory)
@@ -39,11 +45,13 @@ perf-check:
     cargo run --release -p syncircuit-bench --bin bench-json -- --check BENCH_phase3.json
 
 # machine-readable perf trajectory: run the micro bench with JSON
-# capture, then merge into BENCH_phase3.json (baseline preserved,
-# current refreshed, per-bench speedup derived)
+# capture, then the serving load generator, and merge both into
+# BENCH_phase3.json (baseline preserved, current refreshed, per-bench
+# speedup derived)
 bench-json:
     BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
-    cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json BENCH_phase3.json
+    cargo run --release -p syncircuit-bench --bin load-gen -- --json /tmp/syncircuit-serve-load.json
+    cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json /tmp/syncircuit-serve-load.json BENCH_phase3.json
 
 # run every table/figure harness (slow; regenerates the paper numbers)
 bench-all:
@@ -74,4 +82,4 @@ stress:
     @echo "release determinism: two runs identical"
 
 # everything CI checks, in CI order
-ci: build test lint doc example-smoke stress
+ci: build test lint doc example-smoke serve-smoke stress

@@ -17,6 +17,8 @@
 //! - [`metrics`] — Table II structural-similarity metrics
 //! - [`ppa`] — downstream RTL-stage PPA prediction (MasterRTL/RTL-Timer
 //!   style)
+//! - [`serve`] — in-process serving daemon: LRU model registry,
+//!   admission control with backpressure, tenant-fair scheduling
 //!
 //! The service-ready generation surface is re-exported at the crate
 //! root: [`SynCircuit`], the validating [`PipelineConfig`] builder, the
@@ -55,9 +57,12 @@ pub use syncircuit_hdl as hdl;
 pub use syncircuit_metrics as metrics;
 pub use syncircuit_nn as nn;
 pub use syncircuit_ppa as ppa;
+pub use syncircuit_serve as serve;
 pub use syncircuit_synth as synth;
 
 pub use syncircuit_core::{
     ConfigError, Error, GenRequest, Generated, Generator, PersistError, PhaseToggles,
     PipelineConfig, PipelineConfigBuilder, RequestError, SynCircuit,
 };
+
+pub use syncircuit_serve::{Daemon, DaemonConfig, RegistryBudget, ServeError};
