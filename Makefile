@@ -1,6 +1,6 @@
 # Mirror of the justfile for environments without `just`.
 
-.PHONY: build test lint fmt-check doc example-smoke bench-smoke serve-smoke bench-json perf-check bench-all determinism stress ci
+.PHONY: build test lint fmt-check doc example-smoke bench-smoke serve-smoke chaos-smoke bench-json perf-check bench-all determinism stress ci
 
 build:
 	cargo build --release
@@ -25,6 +25,9 @@ bench-smoke:
 
 serve-smoke:
 	cargo run --release -p syncircuit-bench --bin load-gen -- --requests 100 --tenants 4 --max-resident 2 --inflight 64 --queue 1024
+
+chaos-smoke:
+	cargo run --release -p syncircuit-bench --bin load-gen -- --chaos 7 --requests 150 --tenants 3 --nodes 12 --max-resident 1
 
 bench-json:
 	BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
@@ -55,4 +58,4 @@ stress:
 	diff /tmp/syncircuit-rel1.txt /tmp/syncircuit-rel2.txt
 	@echo "release determinism: two runs identical"
 
-ci: build test lint doc example-smoke serve-smoke stress
+ci: build test lint doc example-smoke serve-smoke chaos-smoke stress

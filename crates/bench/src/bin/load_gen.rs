@@ -13,6 +13,7 @@
 //! ```text
 //! load-gen [--requests N] [--tenants T] [--workers W] [--queue CAP]
 //!          [--max-resident M] [--inflight K] [--nodes SIZE] [--json OUT]
+//!          [--chaos SEED]
 //! ```
 //!
 //! Defaults replay 1000 requests across 4 tenants with 1000 requests
@@ -21,6 +22,15 @@
 //! trajectory merge (`just bench-json` feeds it into
 //! `BENCH_phase3.json`). `just serve-smoke` runs a downsized trace as
 //! a CI gate.
+//!
+//! `--chaos SEED` switches to the deterministic fault-injection
+//! harness: the trace replays through a daemon wired to a seeded
+//! [`FaultPlan`] (IO errors, slow loads, corrupt artifact bytes,
+//! worker panics) plus deterministically expiring zero-deadline
+//! requests, and every outcome is checked against the plan's pure
+//! prediction — no hangs, no leaked tickets, typed errors exactly
+//! where scheduled, and byte-identical designs everywhere else.
+//! `just chaos-smoke` runs it as a CI gate.
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::VecDeque;
@@ -29,7 +39,10 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use syncircuit_core::{GenRequest, PipelineConfig, RewardKind, SynCircuit};
 use syncircuit_graph::testing::random_circuit_with_size;
-use syncircuit_serve::{Daemon, DaemonConfig, RegistryBudget, Ticket};
+use syncircuit_serve::{
+    silence_injected_panics, Daemon, DaemonConfig, FaultPlan, Predicted, QuarantinePolicy,
+    RegistryBudget, RetryPolicy, ServeError, Ticket,
+};
 
 struct Args {
     requests: usize,
@@ -40,6 +53,7 @@ struct Args {
     inflight: usize,
     nodes: usize,
     json: Option<String>,
+    chaos: Option<u64>,
 }
 
 impl Args {
@@ -53,6 +67,7 @@ impl Args {
             inflight: 1000,
             nodes: 16,
             json: None,
+            chaos: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -69,6 +84,13 @@ impl Args {
                 "--inflight" => args.inflight = parse(&flag, &value()?)?,
                 "--nodes" => args.nodes = parse(&flag, &value()?)?,
                 "--json" => args.json = Some(value()?),
+                "--chaos" => {
+                    let text = value()?;
+                    args.chaos = Some(
+                        text.parse()
+                            .map_err(|e| format!("--chaos: invalid seed {text:?}: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -114,6 +136,225 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// What the chaos harness expects one request's ticket to resolve to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expected {
+    /// Completes; the design must be byte-identical to the fault-free
+    /// reference.
+    Ok,
+    /// Shed with `DeadlineExceeded` (zero time budget).
+    Deadline,
+    /// Fails with `WorkerPanicked` (injected panic, isolated).
+    Panicked,
+    /// Fails with a typed `Model` persistence error (corrupt bytes or
+    /// exhausted IO retries).
+    ModelError,
+}
+
+/// Upper bound on any single ticket wait in the chaos run: a ticket
+/// still unresolved after this long counts as a hang, which is exactly
+/// the failure mode the harness exists to rule out.
+const HANG_GUARD: Duration = Duration::from_secs(60);
+
+/// Deterministic fault-injection run (`--chaos SEED`, see module docs).
+fn run_chaos(args: &Args, chaos_seed: u64, dir: &std::path::Path) -> Result<(), String> {
+    silence_injected_panics();
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_micros(200),
+        max_delay: Duration::from_millis(2),
+    };
+    let plan = std::sync::Arc::new(FaultPlan::seeded(chaos_seed));
+
+    eprintln!(
+        "load-gen: chaos seed {chaos_seed}: training {} tenant model(s)...",
+        args.tenants
+    );
+    let fleet = train_fleet(dir, args.tenants);
+    let models: Vec<SynCircuit> = fleet
+        .iter()
+        .map(|p| SynCircuit::load(p).expect("load tenant artifact"))
+        .collect();
+
+    // Plan the trace. Request seeds are 1..=N (0 is the unseeded
+    // sentinel). Every 13th request carries a zero deadline and must
+    // expire; must-fail read faults (corrupt bytes, exhausted IO) get a
+    // private copy of their tenant's artifact, so registry residency
+    // can never mask the scheduled fault — at any worker count.
+    struct Planned {
+        seed: u64,
+        tenant: usize,
+        path: String,
+        request: GenRequest,
+        expected: Expected,
+    }
+    let mut trace: Vec<Planned> = Vec::with_capacity(args.requests);
+    for k in 0..args.requests as u64 {
+        let seed = k + 1;
+        let tenant = (k % args.tenants as u64) as usize;
+        let mut request = GenRequest::nodes(args.nodes + (k % 5) as usize).seeded(seed);
+        let predicted = plan.predict(seed, retry.max_attempts);
+        let zero_deadline = k % 13 == 5;
+        let (expected, path) = if zero_deadline {
+            // Deadline expiry is checked before the job runs, so it
+            // wins over any predicted fault.
+            request = request.deadline(Duration::ZERO);
+            (Expected::Deadline, fleet[tenant].clone())
+        } else {
+            match predicted {
+                Predicted::Ok { .. } => (Expected::Ok, fleet[tenant].clone()),
+                Predicted::Panic => (Expected::Panicked, fleet[tenant].clone()),
+                Predicted::Corrupt | Predicted::IoExhausted => {
+                    let private = dir.join(format!("chaos_{k}.json"));
+                    std::fs::copy(&fleet[tenant], &private)
+                        .map_err(|e| format!("{}: {e}", private.display()))?;
+                    (Expected::ModelError, private.display().to_string())
+                }
+            }
+        };
+        trace.push(Planned {
+            seed,
+            tenant,
+            path,
+            request,
+            expected,
+        });
+    }
+
+    // Fault-free reference: generate each surviving request directly
+    // from a freshly loaded model. Generation can fail legitimately
+    // (e.g. a refinement dead-end for one (nodes, seed) combo) — that
+    // failure is itself deterministic, so the chaos run must reproduce
+    // it exactly, error for error, bytes for bytes.
+    type Reference = Result<syncircuit_core::Generated, syncircuit_core::Error>;
+    let reference: Vec<Option<Reference>> = trace
+        .iter()
+        .map(|p| (p.expected == Expected::Ok).then(|| models[p.tenant].generate_one(&p.request)))
+        .collect();
+
+    let daemon = Daemon::start_with_faults(
+        DaemonConfig {
+            workers: args.workers,
+            queue_capacity: args.queue.max(args.requests),
+            budget: RegistryBudget::max_models(args.max_resident),
+            retry,
+            quarantine: QuarantinePolicy::disabled(),
+        },
+        plan.clone(),
+    );
+    eprintln!(
+        "load-gen: chaos: replaying {} requests, {} tenants, {} workers, {} private artifacts",
+        args.requests,
+        args.tenants,
+        args.workers,
+        trace.iter().filter(|p| p.expected == Expected::ModelError).count()
+    );
+
+    let started = Instant::now();
+    let tickets: Vec<Ticket> = trace
+        .iter()
+        .map(|p| {
+            daemon
+                .submit(&format!("tenant-{}", p.tenant), &p.path, p.request.clone())
+                .map_err(|e| format!("admission failed for seed {}: {e}", p.seed))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut mismatches = 0usize;
+    for (k, (planned, ticket)) in trace.iter().zip(tickets).enumerate() {
+        let outcome = ticket
+            .wait_timeout(HANG_GUARD)
+            .map_err(|_| format!("HANG: seed {} unresolved after {HANG_GUARD:?}", planned.seed))?;
+        let verdict = match (planned.expected, &outcome) {
+            (Expected::Ok, got) => {
+                match (reference[k].as_ref().expect("reference exists for Ok"), got) {
+                    (Ok(reference), Ok(gen)) if gen.graph == reference.graph => Ok(()),
+                    (Ok(_), Ok(_)) => Err("design differs from fault-free reference".to_string()),
+                    (Err(expected), Err(ServeError::Model(e))) if e == expected => Ok(()),
+                    (expected, got) => {
+                        let show = |r: &dyn std::fmt::Debug| format!("{r:?}");
+                        Err(format!(
+                            "fault-free outcome not reproduced: reference {}, served {}",
+                            show(&expected.as_ref().map(|_| "Ok")),
+                            show(&got.as_ref().map(|_| "Ok"))
+                        ))
+                    }
+                }
+            }
+            (Expected::Deadline, Err(ServeError::DeadlineExceeded)) => Ok(()),
+            (Expected::Panicked, Err(ServeError::WorkerPanicked { .. })) => Ok(()),
+            (Expected::ModelError, Err(ServeError::Model(_))) => Ok(()),
+            (expected, got) => {
+                let got = match got {
+                    Ok(_) => "Ok".to_string(),
+                    Err(e) => format!("{e:?}"),
+                };
+                Err(format!("expected {expected:?}, got {got}"))
+            }
+        };
+        if let Err(why) = verdict {
+            eprintln!("load-gen: chaos: seed {} MISMATCH: {why}", planned.seed);
+            mismatches += 1;
+        }
+    }
+    let wall = started.elapsed();
+
+    let registry = daemon.registry().stats();
+    let stats = daemon.shutdown();
+    let counts = plan.counts();
+
+    let expected_expired = trace.iter().filter(|p| p.expected == Expected::Deadline).count() as u64;
+    let expected_panics = trace.iter().filter(|p| p.expected == Expected::Panicked).count() as u64;
+
+    println!(
+        "load-gen: chaos seed {chaos_seed}: {} requests in {:.2}s, {} workers",
+        args.requests,
+        wall.as_secs_f64(),
+        args.workers
+    );
+    println!(
+        "  injected: {} io errors, {} slow reads, {} corrupt reads, {} panics",
+        counts.io_errors, counts.slow_reads, counts.corrupt_reads, counts.panics
+    );
+    println!(
+        "  daemon: {} served, {} expired, {} panicked, {} queued at shutdown",
+        stats.served, stats.expired, stats.panicked, stats.queued
+    );
+    println!(
+        "  registry: {} loads, {} load failures, {} hits, {} evictions",
+        registry.loads, registry.load_failures, registry.hits, registry.evictions
+    );
+
+    if mismatches > 0 {
+        return Err(format!("{mismatches} outcome(s) diverged from the fault plan"));
+    }
+    if counts.total() == 0 || counts.io_errors == 0 || counts.corrupt_reads == 0 || counts.panics == 0
+    {
+        return Err(format!(
+            "fault plan injected too little to prove anything: {counts:?} \
+             (raise --requests or change the seed)"
+        ));
+    }
+    if stats.queued != 0 {
+        return Err(format!("{} job(s) leaked past shutdown", stats.queued));
+    }
+    if stats.served != args.requests as u64 {
+        return Err(format!(
+            "daemon resolved {} of {} requests",
+            stats.served, args.requests
+        ));
+    }
+    if stats.expired != expected_expired || stats.panicked != expected_panics {
+        return Err(format!(
+            "counters diverged from the plan: expired {} (want {expected_expired}), \
+             panicked {} (want {expected_panics})",
+            stats.expired, stats.panicked
+        ));
+    }
+    println!("  chaos: all outcomes matched the plan; surviving designs byte-identical");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
     let dir: PathBuf = std::env::temp_dir().join(format!(
@@ -121,6 +362,12 @@ fn run() -> Result<(), String> {
         std::process::id()
     ));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+
+    if let Some(chaos_seed) = args.chaos {
+        let result = run_chaos(&args, chaos_seed, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        return result;
+    }
 
     eprintln!(
         "load-gen: training {} tenant model(s) ({}-node corpus circuits)...",
@@ -132,6 +379,7 @@ fn run() -> Result<(), String> {
         workers: args.workers,
         queue_capacity: args.queue,
         budget: RegistryBudget::max_models(args.max_resident),
+        ..DaemonConfig::default()
     });
     eprintln!(
         "load-gen: replaying {} requests, {} tenants, {} workers, window {}, registry budget {} model(s)",

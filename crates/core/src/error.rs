@@ -151,6 +151,38 @@ impl fmt::Display for PersistError {
 
 impl StdError for PersistError {}
 
+impl PersistError {
+    /// Prefixes the artifact `path` onto the error's message payload,
+    /// so an error that crossed a registry or a load call names the
+    /// file it came from. Variants that already identify the artifact
+    /// ([`PersistError::Io`] messages embed their path at construction)
+    /// or carry no message ([`PersistError::Format`],
+    /// [`PersistError::Version`]) pass through unchanged.
+    pub fn at_path(self, path: &str) -> PersistError {
+        match self {
+            PersistError::Parse(msg) => PersistError::Parse(format!("{path}: {msg}")),
+            PersistError::Inconsistent(msg) => {
+                PersistError::Inconsistent(format!("{path}: {msg}"))
+            }
+            PersistError::ShapeMismatch(msg) => {
+                PersistError::ShapeMismatch(format!("{path}: {msg}"))
+            }
+            other => other,
+        }
+    }
+}
+
+impl Error {
+    /// Names the artifact `path` in persistence errors (see
+    /// [`PersistError::at_path`]); every other variant passes through.
+    pub fn at_path(self, path: &str) -> Error {
+        match self {
+            Error::Persist(p) => Error::Persist(p.at_path(path)),
+            other => other,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -315,12 +315,14 @@ impl SynCircuit {
     /// # Errors
     ///
     /// See [`SynCircuit::from_json`]; additionally returns
-    /// [`PersistError::Io`] (naming `path`) on read failures.
+    /// [`PersistError::Io`] (naming `path`) on read failures. Parse,
+    /// consistency and shape errors are prefixed with `path` too
+    /// ([`Error::at_path`]), so a failed load always names the file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, Error> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))?;
-        Self::from_json(&text)
+        Self::from_json(&text).map_err(|e| e.at_path(&path.display().to_string()))
     }
 }
 

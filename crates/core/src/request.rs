@@ -64,6 +64,7 @@ pub struct GenRequest {
     seed: Option<u64>,
     attrs: Option<Vec<Node>>,
     phases: PhaseToggles,
+    deadline: Option<std::time::Duration>,
 }
 
 impl GenRequest {
@@ -77,6 +78,7 @@ impl GenRequest {
             seed: None,
             attrs: None,
             phases: PhaseToggles::default(),
+            deadline: None,
         }
     }
 
@@ -88,6 +90,7 @@ impl GenRequest {
             seed: None,
             attrs: Some(attrs),
             phases: PhaseToggles::default(),
+            deadline: None,
         }
     }
 
@@ -111,6 +114,16 @@ impl GenRequest {
         self
     }
 
+    /// Gives the request a time budget. Generation itself ignores it
+    /// (a local call runs to completion), but a serving daemon resolves
+    /// it to an absolute deadline at admission: a request still queued
+    /// when its budget runs out is failed with a typed
+    /// deadline-exceeded error instead of occupying a worker.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// Requested node count.
     pub fn node_count(&self) -> usize {
         self.nodes
@@ -129,6 +142,11 @@ impl GenRequest {
     /// Phase toggles of this request.
     pub fn phases(&self) -> PhaseToggles {
         self.phases
+    }
+
+    /// The request's time budget, if any (see [`GenRequest::deadline`]).
+    pub fn time_budget(&self) -> Option<std::time::Duration> {
+        self.deadline
     }
 }
 
@@ -211,6 +229,9 @@ mod tests {
         assert!(!r.phases().diffusion);
         assert_eq!(r.phases().optimize, Some(true));
         assert!(r.attrs().is_none());
+        assert_eq!(r.time_budget(), None);
+        let d = std::time::Duration::from_millis(250);
+        assert_eq!(r.deadline(d).time_budget(), Some(d));
     }
 
     #[test]

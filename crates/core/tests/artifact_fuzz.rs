@@ -1,0 +1,113 @@
+//! Corruption fuzzing of the persistence surface: truncations and
+//! byte-flips of a real artifact must come back as typed
+//! [`Error::Persist`] values — naming the offending path when loaded
+//! from disk — and must never panic, whatever bytes are on disk.
+//!
+//! The input corpus is the committed golden fixture
+//! (`tests/fixtures/model_v1.json`), i.e. a genuine artifact rather
+//! than synthetic JSON, so the battery walks through every layer of
+//! the real format: format marker, version gate, JSON parse, field
+//! extraction, shape validation.
+
+use std::path::PathBuf;
+use syncircuit_core::{Error, SynCircuit};
+
+fn fixture_text() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.json");
+    std::fs::read_to_string(path).expect("golden fixture exists")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("syncircuit-fuzz-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Prefix lengths to probe: every byte of the header region (where the
+/// format marker and version live), a stride across the body, and
+/// every byte of the tail (where truncation bites mid-structure).
+fn prefix_lengths(len: usize) -> Vec<usize> {
+    let mut cuts: Vec<usize> = (0..len.min(512)).collect();
+    cuts.extend((512..len.saturating_sub(64)).step_by(31));
+    cuts.extend(len.saturating_sub(64)..len);
+    cuts
+}
+
+#[test]
+fn truncated_prefixes_fail_typed_without_panicking() {
+    let raw = fixture_text();
+    // Trailing whitespace is not load-bearing: only prefixes strictly
+    // inside the trimmed text are guaranteed-invalid artifacts.
+    let trimmed = raw.trim_end().len();
+    let mut tried = 0usize;
+    for cut in prefix_lengths(trimmed) {
+        if cut >= trimmed || !raw.is_char_boundary(cut) {
+            continue;
+        }
+        tried += 1;
+        match SynCircuit::from_json(&raw[..cut]) {
+            Err(Error::Persist(_)) => {}
+            Err(other) => panic!("prefix {cut}: non-persist error {other:?}"),
+            Ok(_) => panic!("prefix {cut}: a truncated artifact must not load"),
+        }
+    }
+    assert!(tried > 500, "battery degenerated to {tried} prefixes");
+}
+
+#[test]
+fn truncated_artifacts_name_the_path_when_loaded() {
+    let raw = fixture_text();
+    let trimmed = raw.trim_end().len();
+    let dir = scratch_dir("truncate");
+    // A spread of cut points across format layers: inside the marker,
+    // inside the version field, mid-body, and just short of the end.
+    for (i, cut) in [8, 40, trimmed / 4, trimmed / 2, trimmed - 3]
+        .into_iter()
+        .enumerate()
+    {
+        let cut = (0..=cut).rev().find(|&c| raw.is_char_boundary(c)).unwrap();
+        let path = dir.join(format!("truncated_{i}.json"));
+        std::fs::write(&path, &raw[..cut]).expect("write truncated artifact");
+        let err = SynCircuit::load(&path).expect_err("truncated artifact must not load");
+        assert!(matches!(err, Error::Persist(_)), "cut {cut}: {err:?}");
+        let shown = format!("{err}");
+        assert!(
+            shown.contains(&path.display().to_string()) || shown.contains("format marker"),
+            "cut {cut}: error must name the artifact (or fail the path-free \
+             format gate): {shown}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byte_flips_never_panic_and_fail_typed() {
+    let raw = fixture_text().into_bytes();
+    let dir = scratch_dir("flip");
+    let path = dir.join("flipped.json");
+    let mut rejected = 0usize;
+    let mut accepted = 0usize;
+    for pos in (0..raw.len()).step_by(53) {
+        for mask in [0x01u8, 0x20, 0xFF] {
+            let mut bytes = raw.clone();
+            bytes[pos] ^= mask;
+            if bytes[pos] == raw[pos] {
+                continue;
+            }
+            std::fs::write(&path, &bytes).expect("write flipped artifact");
+            // A flip may still parse (e.g. a digit inside a weight);
+            // the contract is typed-or-loads, never a panic.
+            match SynCircuit::load(&path) {
+                Ok(_) => accepted += 1,
+                Err(Error::Persist(_)) => rejected += 1,
+                Err(other) => panic!("pos {pos} mask {mask:#x}: non-persist error {other:?}"),
+            }
+        }
+    }
+    assert!(
+        rejected > 100,
+        "flip battery should reject plenty of corruptions, got {rejected} \
+         (accepted {accepted})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! In-process work-queue serving daemon.
 //!
-//! The daemon fronts [`ModelRegistry`] + [`SynCircuit::generate_one`]
-//! with the three things a batch pipeline lacks:
+//! The daemon fronts [`ModelRegistry`] + `SynCircuit::generate_one`
+//! with the things a batch pipeline lacks:
 //!
 //! 1. **Admission control** — the request queue is bounded; a
 //!    submission past the high-water mark is rejected immediately with
@@ -15,19 +15,32 @@
 //!    drains every queued job, joins the workers, and fails any job
 //!    that could never run (no workers configured) with
 //!    [`ServeError::ShuttingDown`]; no ticket is ever left hanging.
+//! 4. **Fault isolation** — a request whose deadline passed while
+//!    queued is shed with [`ServeError::DeadlineExceeded`] without
+//!    occupying a worker; a panic while serving is caught at the job
+//!    boundary and fails only that request
+//!    ([`ServeError::WorkerPanicked`]) with the worker loop restarting
+//!    in place; poisoned queue and ticket locks are recovered (state
+//!    re-validated) instead of cascading the panic to every caller.
 //!
 //! Everything is std-only: scoped ownership via `Arc`, a `Mutex` +
 //! `Condvar` work queue, and plain `std::thread` workers. Serving is
 //! deterministic end to end — a [`GenRequest`] with an explicit seed
 //! produces the same design whether it ran through the daemon or
 //! directly against a freshly loaded model (property-tested in
-//! `tests/registry_equivalence.rs`).
+//! `tests/registry_equivalence.rs`), and fault injection
+//! ([`Daemon::start_with_faults`]) keys every decision on request
+//! seeds, never on thread schedule.
 
 use crate::error::ServeError;
-use crate::registry::{ModelRegistry, RegistryBudget};
+use crate::fault::{FaultInjector, JobFault, NoFaults, INJECTED_PANIC_MARK};
+use crate::registry::{ModelRegistry, QuarantinePolicy, RegistryBudget};
+use crate::retry::RetryPolicy;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use syncircuit_core::{GenRequest, Generated};
 
 /// Configuration of a [`Daemon`].
@@ -44,16 +57,25 @@ pub struct DaemonConfig {
     pub queue_capacity: usize,
     /// Residency budget of the daemon's model registry.
     pub budget: RegistryBudget,
+    /// Retry policy for transient artifact-read failures (see
+    /// [`RetryPolicy`]); backoff jitter is seeded per request, so
+    /// replays are deterministic.
+    pub retry: RetryPolicy,
+    /// Quarantine policy for artifacts that repeatedly fail to parse
+    /// (see [`QuarantinePolicy`]).
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for DaemonConfig {
-    /// One worker per available core, a 1024-deep queue, and an
-    /// unlimited registry.
+    /// One worker per available core, a 1024-deep queue, an unlimited
+    /// registry, and the default retry/quarantine policies.
     fn default() -> Self {
         DaemonConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 1024,
             budget: RegistryBudget::unlimited(),
+            retry: RetryPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
         }
     }
 }
@@ -61,19 +83,32 @@ impl Default for DaemonConfig {
 /// Counters reported by [`Daemon::shutdown`] and [`Daemon::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DaemonStats {
-    /// Requests admitted and completed (successfully or with a model
-    /// error).
+    /// Requests admitted and resolved by a worker — successfully, with
+    /// a model error, or with a typed resilience error (expired and
+    /// panicked jobs resolve too; they are also counted below).
     pub served: u64,
     /// Submissions rejected at admission (overload or shutdown).
     pub rejected: u64,
     /// Jobs currently queued (always 0 after shutdown).
     pub queued: usize,
+    /// Jobs shed at the worker because their deadline passed while
+    /// queued ([`ServeError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Jobs failed by an isolated worker panic
+    /// ([`ServeError::WorkerPanicked`]).
+    pub panicked: u64,
 }
 
 /// One queued generation job.
 struct Job {
     model: String,
     request: GenRequest,
+    /// Absolute expiry, resolved from the request's time budget at
+    /// admission.
+    deadline: Option<Instant>,
+    /// The request's explicit seed (0 when unseeded): the key every
+    /// deterministic fault-injection decision derives from.
+    seed_hint: u64,
     slot: Arc<TicketShared>,
 }
 
@@ -83,10 +118,29 @@ struct TicketShared {
     cv: Condvar,
 }
 
-/// A handle to one admitted request; redeem it with [`Ticket::wait`].
+impl TicketShared {
+    /// Locks the result cell, recovering a poisoned lock: the cell is a
+    /// plain `Option` write, so a panic mid-update cannot leave it
+    /// inconsistent.
+    fn lock_result(&self) -> MutexGuard<'_, Option<Result<Generated, ServeError>>> {
+        self.result.lock().unwrap_or_else(|poisoned| {
+            self.result.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+}
+
+/// A handle to one admitted request; redeem it with [`Ticket::wait`] or
+/// [`Ticket::wait_timeout`].
 #[must_use = "an unredeemed ticket discards the response"]
 pub struct Ticket {
     slot: Arc<TicketShared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -95,12 +149,48 @@ impl Ticket {
     /// fill it on completion, and shutdown fails stranded jobs with
     /// [`ServeError::ShuttingDown`].
     pub fn wait(self) -> Result<Generated, ServeError> {
-        let mut guard = self.slot.result.lock().expect("ticket poisoned");
+        let mut guard = self.slot.lock_result();
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
             }
-            guard = self.slot.cv.wait(guard).expect("ticket poisoned");
+            guard = match self.slot.cv.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    self.slot.result.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
+        }
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout`. On timeout
+    /// the (still unredeemed) ticket is handed back so the caller can
+    /// keep waiting or drop it — the daemon still resolves the slot, so
+    /// a timed-out wait never leaks a hung job.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when `timeout` elapsed without an outcome.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Generated, ServeError>, Ticket> {
+        let give_up = Instant::now() + timeout;
+        let mut guard = self.slot.lock_result();
+        loop {
+            if let Some(outcome) = guard.take() {
+                return Ok(outcome);
+            }
+            let now = Instant::now();
+            if now >= give_up {
+                drop(guard);
+                return Err(self);
+            }
+            guard = match self.slot.cv.wait_timeout(guard, give_up - now) {
+                Ok((g, _)) => g,
+                Err(poisoned) => {
+                    self.slot.result.clear_poison();
+                    poisoned.into_inner().0
+                }
+            };
         }
     }
 }
@@ -146,15 +236,46 @@ impl Queues {
         }
         None
     }
+
+    /// Re-derives the cached queue depth from the lanes themselves —
+    /// run after recovering a poisoned lock, where a panic may have
+    /// struck between a lane mutation and the counter update.
+    fn revalidate(&mut self) {
+        self.queued = self.lanes.iter().map(|(_, lane)| lane.len()).sum();
+    }
 }
 
 struct Shared {
     queues: Mutex<Queues>,
     work_cv: Condvar,
     registry: ModelRegistry,
+    injector: Arc<dyn FaultInjector>,
     queue_capacity: usize,
     served: std::sync::atomic::AtomicU64,
     rejected: std::sync::atomic::AtomicU64,
+    expired: std::sync::atomic::AtomicU64,
+    panicked: std::sync::atomic::AtomicU64,
+}
+
+impl Shared {
+    /// Locks the queues, recovering (and re-validating) a poisoned
+    /// lock: a worker that panicked while holding it cannot take the
+    /// whole daemon down.
+    fn lock_queues(&self) -> MutexGuard<'_, Queues> {
+        self.queues
+            .lock()
+            .unwrap_or_else(|poisoned| self.recover_queues(poisoned))
+    }
+
+    fn recover_queues<'a>(
+        &'a self,
+        poisoned: PoisonError<MutexGuard<'a, Queues>>,
+    ) -> MutexGuard<'a, Queues> {
+        self.queues.clear_poison();
+        let mut guard = poisoned.into_inner();
+        guard.revalidate();
+        guard
+    }
 }
 
 /// The serving daemon (see the module docs).
@@ -174,21 +295,41 @@ impl std::fmt::Debug for Daemon {
 
 impl Daemon {
     /// Starts the daemon: spawns `config.workers` worker threads over a
-    /// fresh registry with `config.budget`.
+    /// fresh registry with `config.budget`, with no fault injection.
     ///
     /// # Panics
     ///
     /// Panics if `config.queue_capacity` is 0 (a daemon that admits
     /// nothing is a misconfiguration, not a serving policy).
     pub fn start(config: DaemonConfig) -> Self {
+        Self::start_with_faults(config, Arc::new(NoFaults))
+    }
+
+    /// Starts the daemon with a fault injector wired into the
+    /// registry's artifact-read seam and the worker's job boundary.
+    /// Production code uses [`Daemon::start`] ([`NoFaults`]); chaos
+    /// tests pass a seeded [`crate::FaultPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queue_capacity` is 0.
+    pub fn start_with_faults(config: DaemonConfig, injector: Arc<dyn FaultInjector>) -> Self {
         assert!(config.queue_capacity > 0, "queue_capacity must be at least 1");
         let shared = Arc::new(Shared {
             queues: Mutex::new(Queues::default()),
             work_cv: Condvar::new(),
-            registry: ModelRegistry::new(config.budget),
+            registry: ModelRegistry::with_resilience(
+                config.budget,
+                config.retry,
+                config.quarantine,
+                injector.clone(),
+            ),
+            injector,
             queue_capacity: config.queue_capacity,
             served: std::sync::atomic::AtomicU64::new(0),
             rejected: std::sync::atomic::AtomicU64::new(0),
+            expired: std::sync::atomic::AtomicU64::new(0),
+            panicked: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -204,7 +345,9 @@ impl Daemon {
 
     /// Submits a generation request on behalf of `tenant` against the
     /// model artifact at `model_path`. Returns immediately with a
-    /// [`Ticket`] on admission.
+    /// [`Ticket`] on admission. A request with a time budget
+    /// ([`GenRequest::deadline`]) is stamped with its absolute deadline
+    /// here, at admission.
     ///
     /// # Errors
     ///
@@ -222,8 +365,10 @@ impl Daemon {
             result: Mutex::new(None),
             cv: Condvar::new(),
         });
+        let deadline = request.time_budget().map(|budget| Instant::now() + budget);
+        let seed_hint = request.seed().unwrap_or(0);
         {
-            let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+            let mut queues = self.shared.lock_queues();
             if queues.shutting_down {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::ShuttingDown);
@@ -239,6 +384,8 @@ impl Daemon {
                 Job {
                     model: model_path.to_string(),
                     request,
+                    deadline,
+                    seed_hint,
                     slot: slot.clone(),
                 },
             );
@@ -247,8 +394,8 @@ impl Daemon {
         Ok(Ticket { slot })
     }
 
-    /// The daemon's model registry (for telemetry; e.g. eviction
-    /// counts under budget pressure).
+    /// The daemon's model registry (for telemetry; e.g. eviction and
+    /// quarantine counts under budget or fault pressure).
     pub fn registry(&self) -> &ModelRegistry {
         &self.shared.registry
     }
@@ -259,7 +406,9 @@ impl Daemon {
         DaemonStats {
             served: self.shared.served.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
-            queued: self.shared.queues.lock().expect("daemon poisoned").queued,
+            queued: self.shared.lock_queues().queued,
+            expired: self.shared.expired.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
         }
     }
 
@@ -276,7 +425,7 @@ impl Daemon {
     }
 
     fn begin_shutdown(&self) {
-        let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+        let mut queues = self.shared.lock_queues();
         queues.shutting_down = true;
         drop(queues);
         self.shared.work_cv.notify_all();
@@ -285,7 +434,7 @@ impl Daemon {
     /// Fails every still-queued job (only possible with zero workers —
     /// workers drain the queue before exiting).
     fn fail_stranded(&self) {
-        let mut queues = self.shared.queues.lock().expect("daemon poisoned");
+        let mut queues = self.shared.lock_queues();
         while let Some(job) = queues.pop_round_robin() {
             fill(&job.slot, Err(ServeError::ShuttingDown));
         }
@@ -306,17 +455,61 @@ impl Drop for Daemon {
 }
 
 fn fill(slot: &TicketShared, outcome: Result<Generated, ServeError>) {
-    let mut guard = slot.result.lock().expect("ticket poisoned");
+    let mut guard = slot.lock_result();
     *guard = Some(outcome);
     drop(guard);
     slot.cv.notify_all();
 }
 
-fn worker_loop(shared: &Shared) {
+/// Renders a caught panic payload for [`ServeError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Serves one job: queue-side deadline expiry first (an expired job is
+/// shed without touching the registry), then model resolution +
+/// generation under `catch_unwind` so a panic — injected or real —
+/// fails only this request.
+fn serve_job(shared: &Shared, job: &Job) -> Result<Generated, ServeError> {
+    use std::sync::atomic::Ordering;
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        shared.expired.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError::DeadlineExceeded);
+    }
+    let seed = job.seed_hint;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(JobFault::Panic) = shared.injector.job_start(seed) {
+            panic!("{INJECTED_PANIC_MARK} (seed {seed})");
+        }
+        shared
+            .registry
+            .get_or_load_seeded(&job.model, seed)
+            .and_then(|model| model.generate_one(&job.request).map_err(ServeError::Model))
+    }));
+    match attempt {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// One pass of the worker: pop → serve → fill, until shutdown. Runs
+/// under the respawn guard in [`worker_loop`].
+fn serve_loop(shared: &Shared) {
     use std::sync::atomic::Ordering;
     loop {
         let job = {
-            let mut queues = shared.queues.lock().expect("daemon poisoned");
+            let mut queues = shared.lock_queues();
             loop {
                 if let Some(job) = queues.pop_round_robin() {
                     break job;
@@ -324,28 +517,42 @@ fn worker_loop(shared: &Shared) {
                 if queues.shutting_down {
                     return; // drained and shutting down
                 }
-                queues = shared.work_cv.wait(queues).expect("daemon poisoned");
+                queues = match shared.work_cv.wait(queues) {
+                    Ok(g) => g,
+                    Err(poisoned) => shared.recover_queues(poisoned),
+                };
             }
         };
         // Serve outside the queue lock: model resolution and generation
         // are the expensive part and must overlap across workers.
-        let outcome = shared
-            .registry
-            .get_or_load(&job.model)
-            .and_then(|model| model.generate_one(&job.request).map_err(ServeError::Model));
+        let outcome = serve_job(shared, &job);
         fill(&job.slot, outcome);
         shared.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Worker entry point: respawns [`serve_loop`] in place if a panic ever
+/// escapes the per-job `catch_unwind` boundary (e.g. out of the queue
+/// bookkeeping itself), so the daemon never silently loses a worker.
+fn worker_loop(shared: &Shared) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| serve_loop(shared))).is_ok() {
+            return; // orderly shutdown exit
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ReadFault;
 
     fn probe_job(tag: &str) -> Job {
         Job {
             model: tag.to_string(),
             request: GenRequest::nodes(8),
+            deadline: None,
+            seed_hint: 0,
             slot: Arc::new(TicketShared {
                 result: Mutex::new(None),
                 cv: Condvar::new(),
@@ -387,7 +594,7 @@ mod tests {
         let daemon = Daemon::start(DaemonConfig {
             workers: 0,
             queue_capacity: 2,
-            budget: RegistryBudget::unlimited(),
+            ..DaemonConfig::default()
         });
         let t1 = daemon.submit("a", "m", GenRequest::nodes(8)).unwrap();
         let t2 = daemon.submit("b", "m", GenRequest::nodes(8)).unwrap();
@@ -409,7 +616,7 @@ mod tests {
         let daemon = Daemon::start(DaemonConfig {
             workers: 0,
             queue_capacity: 4,
-            budget: RegistryBudget::unlimited(),
+            ..DaemonConfig::default()
         });
         daemon.begin_shutdown();
         match daemon.submit("a", "m", GenRequest::nodes(8)) {
@@ -424,7 +631,7 @@ mod tests {
             Daemon::start(DaemonConfig {
                 workers: 0,
                 queue_capacity: 0,
-                budget: RegistryBudget::unlimited(),
+                ..DaemonConfig::default()
             })
         });
         assert!(result.is_err());
@@ -435,10 +642,96 @@ mod tests {
         let daemon = Daemon::start(DaemonConfig {
             workers: 0,
             queue_capacity: 4,
-            budget: RegistryBudget::unlimited(),
+            ..DaemonConfig::default()
         });
         let ticket = daemon.submit("a", "m", GenRequest::nodes(8)).unwrap();
         drop(daemon);
         assert_eq!(ticket.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_without_a_model() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..DaemonConfig::default()
+        });
+        // Zero budget: the deadline has passed by the time a worker
+        // pops the job, so the (nonexistent) model is never touched.
+        let ticket = daemon
+            .submit("a", "/no/such/model.json", GenRequest::nodes(8).deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        assert_eq!(
+            daemon.registry().stats().load_failures,
+            0,
+            "expired jobs never reach the registry"
+        );
+        let stats = daemon.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.served, 1, "an expired job still resolves its ticket");
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 0,
+            queue_capacity: 4,
+            ..DaemonConfig::default()
+        });
+        let ticket = daemon.submit("a", "m", GenRequest::nodes(8)).unwrap();
+        // No workers: the job cannot resolve, so the bounded wait must
+        // give up and return the ticket rather than hanging.
+        let ticket = match ticket.wait_timeout(Duration::from_millis(20)) {
+            Err(t) => t,
+            Ok(outcome) => panic!("expected timeout, got {:?}", outcome.map(|_| ())),
+        };
+        daemon.shutdown();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    /// Panics the job whose request seed is 7; leaves others alone.
+    #[derive(Debug)]
+    struct PanicOnSeed7;
+
+    impl FaultInjector for PanicOnSeed7 {
+        fn artifact_read(&self, _path: &str, _seed: u64, _attempt: u32) -> Option<ReadFault> {
+            None
+        }
+
+        fn job_start(&self, seed: u64) -> Option<JobFault> {
+            (seed == 7).then_some(JobFault::Panic)
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_one_request_and_recovers() {
+        crate::fault::silence_injected_panics();
+        let daemon = Daemon::start_with_faults(
+            DaemonConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..DaemonConfig::default()
+            },
+            Arc::new(PanicOnSeed7),
+        );
+        let poisoned = daemon
+            .submit("a", "/irrelevant.json", GenRequest::nodes(8).seeded(7))
+            .unwrap();
+        match poisoned.wait().unwrap_err() {
+            ServeError::WorkerPanicked { message } => {
+                assert!(message.contains(INJECTED_PANIC_MARK), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The same single worker must still be alive to serve (and
+        // type-fail) the next request.
+        let next = daemon
+            .submit("a", "/no/such/model.json", GenRequest::nodes(8).seeded(8))
+            .unwrap();
+        assert!(matches!(next.wait().unwrap_err(), ServeError::Model(_)));
+        let stats = daemon.shutdown();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.served, 2);
     }
 }

@@ -15,6 +15,26 @@ pub enum ServeError {
     /// The daemon is shutting down and no longer admits (or, for jobs
     /// stranded without workers, completes) requests.
     ShuttingDown,
+    /// The request's deadline passed before a worker could serve it
+    /// (queue-side expiry) or before the caller's
+    /// [`Ticket::wait_timeout`](crate::Ticket::wait_timeout) ran out.
+    /// The job was shed without occupying a worker.
+    DeadlineExceeded,
+    /// The model artifact is quarantined: it failed to parse repeatedly
+    /// and the registry refuses to re-read it until the quarantine TTL
+    /// elapses, so one corrupt file degrades its own tenant instead of
+    /// hammering the disk and the registry lock.
+    Quarantined {
+        /// The quarantined artifact path.
+        path: String,
+    },
+    /// The worker executing this request panicked. The panic was
+    /// isolated (`catch_unwind`) and the worker recovered; only this
+    /// request is affected.
+    WorkerPanicked {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
     /// Loading the model artifact or serving the generation request
     /// failed; carries the pipeline's typed error (persistence failures
     /// name the offending artifact path).
@@ -29,6 +49,16 @@ impl fmt::Display for ServeError {
                 "request queue is at its high-water mark ({capacity} queued); retry later"
             ),
             ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before it could be served")
+            }
+            ServeError::Quarantined { path } => write!(
+                f,
+                "model artifact is quarantined after repeated parse failures: {path}"
+            ),
+            ServeError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while serving the request: {message}")
+            }
             ServeError::Model(e) => write!(f, "model serving failed: {e}"),
         }
     }
@@ -38,7 +68,11 @@ impl StdError for ServeError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             ServeError::Model(e) => Some(e),
-            ServeError::Overloaded { .. } | ServeError::ShuttingDown => None,
+            ServeError::Overloaded { .. }
+            | ServeError::ShuttingDown
+            | ServeError::DeadlineExceeded
+            | ServeError::Quarantined { .. }
+            | ServeError::WorkerPanicked { .. } => None,
         }
     }
 }
@@ -57,6 +91,15 @@ mod tests {
     fn displays_are_informative() {
         assert!(format!("{}", ServeError::Overloaded { capacity: 8 }).contains("8"));
         assert!(format!("{}", ServeError::ShuttingDown).contains("shutting down"));
+        assert!(format!("{}", ServeError::DeadlineExceeded).contains("deadline"));
+        let q = ServeError::Quarantined {
+            path: "/models/bad.json".to_string(),
+        };
+        assert!(format!("{q}").contains("/models/bad.json"));
+        let p = ServeError::WorkerPanicked {
+            message: "boom".to_string(),
+        };
+        assert!(format!("{p}").contains("boom"));
         let e = ServeError::from(syncircuit_core::Error::EmptyCorpus);
         assert!(format!("{e}").contains("serving failed"));
     }

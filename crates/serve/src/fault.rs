@@ -1,0 +1,429 @@
+//! Deterministic fault injection for the serving daemon.
+//!
+//! Resilience claims are only worth what their tests can prove, and
+//! nondeterministic chaos proves nothing twice. This module defines the
+//! two seams the daemon exposes to fault injection —
+//!
+//! 1. the **registry's artifact-read seam**
+//!    ([`FaultInjector::artifact_read`]): consulted before every disk
+//!    read, it can fail the read with a synthetic IO error, delay it,
+//!    or corrupt the bytes it returns;
+//! 2. the **daemon's job boundary** ([`FaultInjector::job_start`]):
+//!    consulted before a worker executes a job, it can make the worker
+//!    panic mid-job (isolated by `catch_unwind`, surfaced as
+//!    [`ServeError::WorkerPanicked`](crate::ServeError::WorkerPanicked));
+//!
+//! — and [`FaultPlan`], a seeded injector whose every decision is a
+//! **pure function of `(plan seed, request seed, attempt)`**. No global
+//! RNG, no call-order dependence: the same trace replayed against the
+//! same plan injects the same faults in the same places, regardless of
+//! worker count or scheduling. That is what lets the chaos harness
+//! (`load-gen --chaos`) assert exact per-request outcomes and
+//! byte-identical results for every non-faulted request.
+//!
+//! [`FaultPlan::predict`] mirrors the injection logic as a pure
+//! classifier, so a harness can compute the expected outcome of every
+//! request *before* running the trace.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use syncircuit_graph::fingerprint::splitmix64;
+
+/// A fault injected at the registry's artifact-read seam.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The read fails with a synthetic transient IO error (retryable).
+    Io,
+    /// The read succeeds after an injected delay (a slow disk; never an
+    /// error, exercises latency paths and deadline expiry).
+    Slow(Duration),
+    /// The read succeeds but returns corrupted bytes (parse fails; not
+    /// retried, counts toward quarantine).
+    Corrupt,
+}
+
+/// A fault injected at the daemon's job boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFault {
+    /// The worker panics mid-job (must be isolated, never propagated).
+    Panic,
+}
+
+/// The two injection seams the serving stack consults. The default
+/// methods inject nothing, so any real deployment runs on [`NoFaults`]
+/// with zero overhead beyond a virtual call per seam.
+pub trait FaultInjector: Send + Sync + fmt::Debug {
+    /// Consulted before attempt `attempt` of reading artifact `path`
+    /// on behalf of the request with resolved seed hint `seed`.
+    fn artifact_read(&self, path: &str, seed: u64, attempt: u32) -> Option<ReadFault> {
+        let _ = (path, seed, attempt);
+        None
+    }
+
+    /// Consulted by a worker immediately before executing the job for
+    /// the request with resolved seed hint `seed`.
+    fn job_start(&self, seed: u64) -> Option<JobFault> {
+        let _ = seed;
+        None
+    }
+}
+
+/// The production injector: injects nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// Per-kind tallies of faults a [`FaultPlan`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Synthetic IO read failures injected.
+    pub io_errors: u64,
+    /// Slow reads injected.
+    pub slow_reads: u64,
+    /// Corrupted reads injected.
+    pub corrupt_reads: u64,
+    /// Worker panics injected.
+    pub panics: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.io_errors + self.slow_reads + self.corrupt_reads + self.panics
+    }
+}
+
+/// Expected outcome of one request under a [`FaultPlan`], computed
+/// without running anything ([`FaultPlan::predict`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Predicted {
+    /// The request completes normally; `io_retries` transient IO
+    /// faults will be absorbed by the retry policy on a cold load.
+    Ok {
+        /// Injected IO failures a cold load will retry through.
+        io_retries: u32,
+    },
+    /// The worker panics; the ticket resolves to `WorkerPanicked`.
+    Panic,
+    /// A cold load reads corrupted bytes; the ticket resolves to a
+    /// typed persistence error.
+    Corrupt,
+    /// Every load attempt fails with IO; the ticket resolves to a
+    /// typed IO error after the retry budget is spent.
+    IoExhausted,
+}
+
+// Site constants separate the decision streams of the four fault kinds.
+const SITE_PANIC: u64 = 0x50A1_C0DE;
+const SITE_CORRUPT: u64 = 0xC0_22BAD;
+const SITE_IO: u64 = 0x10_E225;
+const SITE_IO_COUNT: u64 = 0x10_C027;
+const SITE_SLOW: u64 = 0x5_10AD;
+
+/// A seeded, deterministic fault schedule.
+///
+/// Every decision is derived by hashing `(plan seed, site, request
+/// seed)` — never from shared mutable state — so injection commutes
+/// with scheduling. Rates are per-mille (`0..=1000`) probabilities over
+/// the request-seed space; an IO-faulted request fails between 1 and 4
+/// consecutive read attempts (seed-derived), which under a 3-attempt
+/// [`RetryPolicy`](crate::RetryPolicy) splits IO faults into
+/// retry-absorbed (1–2 failures) and budget-exhausting (3–4) cases.
+///
+/// The atomic counters ([`FaultPlan::counts`]) record what was actually
+/// injected; a chaos run asserts they are nonzero, proving the trace
+/// exercised the fault paths rather than accidentally dodging them.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-mille of requests whose worker panics mid-job.
+    pub panic_permille: u64,
+    /// Per-mille of requests whose cold read returns corrupt bytes.
+    pub corrupt_permille: u64,
+    /// Per-mille of requests whose cold reads fail with IO errors.
+    pub io_permille: u64,
+    /// Per-mille of requests whose cold read is slowed.
+    pub slow_permille: u64,
+    /// Injected delay of a slow read.
+    pub slow_delay: Duration,
+    io_errors: AtomicU64,
+    slow_reads: AtomicU64,
+    corrupt_reads: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with the default chaos mix: 10% panics, 12% corrupt
+    /// reads, 25% IO-faulted requests, 15% slow reads (2 ms).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: 100,
+            corrupt_permille: 120,
+            io_permille: 250,
+            slow_permille: 150,
+            slow_delay: Duration::from_millis(2),
+            io_errors: AtomicU64::new(0),
+            slow_reads: AtomicU64::new(0),
+            corrupt_reads: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// What this plan has injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            slow_reads: self.slow_reads.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Uniform per-mille roll for `(site, request seed)` — pure.
+    fn roll(&self, site: u64, seed: u64) -> u64 {
+        splitmix64(self.seed ^ site ^ splitmix64(seed)) % 1000
+    }
+
+    fn panics_for(&self, seed: u64) -> bool {
+        self.roll(SITE_PANIC, seed) < self.panic_permille
+    }
+
+    fn corrupts_for(&self, seed: u64) -> bool {
+        self.roll(SITE_CORRUPT, seed) < self.corrupt_permille
+    }
+
+    /// Number of leading read attempts that fail with IO for this
+    /// request (0 = no IO fault; otherwise 1..=4, seed-derived).
+    fn io_failures_for(&self, seed: u64) -> u32 {
+        if self.roll(SITE_IO, seed) < self.io_permille {
+            1 + (splitmix64(self.seed ^ SITE_IO_COUNT ^ splitmix64(seed)) % 4) as u32
+        } else {
+            0
+        }
+    }
+
+    fn slows_for(&self, seed: u64) -> bool {
+        self.roll(SITE_SLOW, seed) < self.slow_permille
+    }
+
+    /// The pure decision behind [`FaultInjector::artifact_read`]
+    /// (no counters touched). Kind precedence: corrupt, IO, slow.
+    pub fn decide_read(&self, seed: u64, attempt: u32) -> Option<ReadFault> {
+        if self.corrupts_for(seed) {
+            Some(ReadFault::Corrupt)
+        } else if attempt < self.io_failures_for(seed) {
+            Some(ReadFault::Io)
+        } else if self.slows_for(seed) {
+            Some(ReadFault::Slow(self.slow_delay))
+        } else {
+            None
+        }
+    }
+
+    /// Expected outcome of the request with seed hint `seed`, assuming
+    /// its artifact load (if any) runs cold under a retry budget of
+    /// `max_attempts`. Mirrors the injection logic exactly.
+    pub fn predict(&self, seed: u64, max_attempts: u32) -> Predicted {
+        if self.panics_for(seed) {
+            Predicted::Panic
+        } else if self.corrupts_for(seed) {
+            Predicted::Corrupt
+        } else {
+            let fails = self.io_failures_for(seed);
+            if fails >= max_attempts.max(1) {
+                Predicted::IoExhausted
+            } else {
+                Predicted::Ok { io_retries: fails }
+            }
+        }
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn artifact_read(&self, _path: &str, seed: u64, attempt: u32) -> Option<ReadFault> {
+        let fault = self.decide_read(seed, attempt);
+        match fault {
+            Some(ReadFault::Io) => self.io_errors.fetch_add(1, Ordering::Relaxed),
+            Some(ReadFault::Slow(_)) => self.slow_reads.fetch_add(1, Ordering::Relaxed),
+            Some(ReadFault::Corrupt) => self.corrupt_reads.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        fault
+    }
+
+    fn job_start(&self, seed: u64) -> Option<JobFault> {
+        if self.panics_for(seed) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            Some(JobFault::Panic)
+        } else {
+            None
+        }
+    }
+}
+
+/// Payload marker of injected worker panics; the daemon's panic-to-
+/// error conversion preserves it, and [`silence_injected_panics`]
+/// suppresses default-hook output for payloads containing it.
+pub const INJECTED_PANIC_MARK: &str = "chaos: injected worker panic";
+
+/// Deterministically corrupts artifact text: keeps a seed-chosen prefix
+/// (between 40% and 90% of the original) and appends a non-JSON tail,
+/// guaranteeing a parse failure — never a panic, never an accidentally
+/// valid artifact. Used by the registry when an injector returns
+/// [`ReadFault::Corrupt`].
+pub fn corrupt_text(text: &str, seed: u64) -> String {
+    let n = text.len().max(1);
+    let cut = n * (40 + (splitmix64(seed ^ 0xBAD_B17E5) % 51) as usize) / 100;
+    let mut cut = cut.min(n - 1);
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}\u{0}<chaos-corrupted>", &text[..cut])
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// "thread panicked" report for *injected* panics — payloads containing
+/// [`INJECTED_PANIC_MARK`] — and defers to the previous hook for
+/// everything else. Chaos harnesses and panic-injection tests call this
+/// so expected faults do not spray nondeterministic thread names into
+/// captured output; genuine panics still report normally.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(INJECTED_PANIC_MARK))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains(INJECTED_PANIC_MARK))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed() {
+        let a = FaultPlan::seeded(7);
+        let b = FaultPlan::seeded(7);
+        for seed in 0..200u64 {
+            assert_eq!(a.predict(seed, 3), b.predict(seed, 3));
+            for attempt in 0..4 {
+                assert_eq!(a.decide_read(seed, attempt), b.decide_read(seed, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn default_mix_produces_every_fault_kind() {
+        let plan = FaultPlan::seeded(11);
+        let mut ok = 0;
+        let mut panics = 0;
+        let mut corrupt = 0;
+        let mut exhausted = 0;
+        let mut retried = 0;
+        for seed in 0..400u64 {
+            match plan.predict(seed, 3) {
+                Predicted::Ok { io_retries: 0 } => ok += 1,
+                Predicted::Ok { .. } => retried += 1,
+                Predicted::Panic => panics += 1,
+                Predicted::Corrupt => corrupt += 1,
+                Predicted::IoExhausted => exhausted += 1,
+            }
+        }
+        assert!(ok > 0, "some requests must stay clean");
+        assert!(panics > 0 && corrupt > 0 && exhausted > 0 && retried > 0);
+    }
+
+    #[test]
+    fn prediction_mirrors_injection() {
+        let plan = FaultPlan::seeded(3);
+        for seed in 0..300u64 {
+            match plan.predict(seed, 3) {
+                Predicted::Panic => {
+                    assert_eq!(plan.job_start(seed), Some(JobFault::Panic));
+                }
+                Predicted::Corrupt => {
+                    assert_eq!(plan.decide_read(seed, 0), Some(ReadFault::Corrupt));
+                    assert_eq!(plan.job_start(seed), None);
+                }
+                Predicted::IoExhausted => {
+                    for attempt in 0..3 {
+                        assert_eq!(plan.decide_read(seed, attempt), Some(ReadFault::Io));
+                    }
+                }
+                Predicted::Ok { io_retries } => {
+                    for attempt in 0..io_retries {
+                        assert_eq!(plan.decide_read(seed, attempt), Some(ReadFault::Io));
+                    }
+                    let after = plan.decide_read(seed, io_retries);
+                    assert!(
+                        !matches!(after, Some(ReadFault::Io | ReadFault::Corrupt)),
+                        "attempt {io_retries} must not fail, got {after:?}"
+                    );
+                }
+            }
+        }
+        assert!(plan.counts().panics > 0, "injection paths were exercised");
+    }
+
+    #[test]
+    fn corruption_always_breaks_parsing_without_panicking() {
+        let text = "{\"format\": \"syncircuit-model\", \"version\": 1}";
+        for seed in 0..50u64 {
+            let bad = corrupt_text(text, seed);
+            assert_ne!(bad, text);
+            assert!(bad.len() < text.len() + 32);
+            // Not valid JSON: the appended NUL tail can never parse.
+            assert!(bad.contains('\u{0}'));
+        }
+        // Degenerate inputs must not slice out of bounds.
+        assert!(corrupt_text("", 1).contains("chaos"));
+        assert!(corrupt_text("é", 2).contains("chaos"));
+    }
+
+    #[test]
+    fn counters_tally_injections() {
+        let plan = FaultPlan::seeded(5);
+        for seed in 0..200u64 {
+            let _ = plan.artifact_read("p", seed, 0);
+            let _ = plan.job_start(seed);
+        }
+        let c = plan.counts();
+        assert!(c.io_errors > 0 && c.corrupt_reads > 0 && c.panics > 0);
+        assert!(c.slow_reads > 0);
+        assert_eq!(
+            c.total(),
+            c.io_errors + c.slow_reads + c.corrupt_reads + c.panics
+        );
+    }
+
+    #[test]
+    fn no_faults_injects_nothing() {
+        let nf = NoFaults;
+        for seed in 0..50 {
+            assert_eq!(nf.artifact_read("p", seed, 0), None);
+            assert_eq!(nf.job_start(seed), None);
+        }
+    }
+}

@@ -21,6 +21,35 @@
 //!   `Model` wraps the pipeline's own error (persistence failures name
 //!   the offending artifact path).
 //!
+//! # Resilience
+//!
+//! The daemon expects its environment to misbehave and degrades along
+//! typed seams instead of hanging or crashing:
+//!
+//! - **Deadlines** — [`syncircuit_core::GenRequest::deadline`] gives a
+//!   request a time budget, resolved to an absolute deadline at
+//!   admission; jobs still queued past it are shed with
+//!   [`ServeError::DeadlineExceeded`] without occupying a worker, and
+//!   [`Ticket::wait_timeout`] bounds the caller's side of the wait.
+//! - **Retries** — transient artifact-read IO errors are retried under
+//!   a [`RetryPolicy`] with seeded exponential backoff; jitter derives
+//!   from the request seed, so replays are bit-identical.
+//! - **Quarantine** — an artifact that repeatedly fails to *parse* is
+//!   embargoed under a [`QuarantinePolicy`]
+//!   ([`ServeError::Quarantined`]) and re-probed only after a TTL,
+//!   degrading one tenant instead of hammering disk and lock.
+//! - **Panic isolation** — a panicking worker fails only its own
+//!   request ([`ServeError::WorkerPanicked`]) and the worker loop
+//!   recovers; poisoned daemon and registry locks are cleared and their
+//!   state re-validated.
+//! - **Fault injection** — every failure path above is exercised
+//!   deterministically by a seeded [`FaultPlan`] implementing
+//!   [`FaultInjector`], the trait behind the registry's artifact-read
+//!   seam and the daemon's job boundary
+//!   ([`Daemon::start_with_faults`]). Decisions are pure functions of
+//!   (plan seed, site, request seed, attempt) — never of thread
+//!   schedule — so a chaos run is replayable bit-for-bit.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -32,6 +61,7 @@
 //!     workers: 4,
 //!     queue_capacity: 256,
 //!     budget: RegistryBudget::max_models(2),
+//!     ..DaemonConfig::default()
 //! });
 //! let ticket = daemon.submit("tenant-a", "models/a.json", GenRequest::nodes(64))?;
 //! let design = ticket.wait()?;
@@ -42,16 +72,24 @@
 //! ```
 //!
 //! Determinism carries through the daemon: a seeded request produces
-//! the same design whether served here (under any worker count or
-//! eviction pressure) or generated directly from a freshly loaded
-//! model. `tests/registry_equivalence.rs` property-tests exactly that.
+//! the same design whether served here (under any worker count, fault
+//! schedule, or eviction pressure) or generated directly from a freshly
+//! loaded model. `tests/registry_equivalence.rs` and
+//! `tests/resilience.rs` property-test exactly that.
 
 #![warn(missing_docs)]
 
 mod daemon;
 mod error;
+mod fault;
 mod registry;
+mod retry;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonStats, Ticket};
 pub use error::ServeError;
-pub use registry::{ModelRegistry, RegistryBudget, RegistryStats};
+pub use fault::{
+    corrupt_text, silence_injected_panics, FaultCounts, FaultInjector, FaultPlan, JobFault,
+    NoFaults, Predicted, ReadFault, INJECTED_PANIC_MARK,
+};
+pub use registry::{ModelRegistry, QuarantinePolicy, RegistryBudget, RegistryStats};
+pub use retry::RetryPolicy;

@@ -1,0 +1,136 @@
+//! Seeded retry with exponential backoff and deterministic jitter.
+//!
+//! Transient artifact-load IO (a network filesystem hiccup, an
+//! interrupted read, an injected chaos fault) should not fail a request
+//! that a second attempt would serve. [`RetryPolicy`] bounds how hard
+//! the registry tries: a maximum attempt count and an exponential
+//! backoff curve capped at `max_delay`.
+//!
+//! The jitter is **deterministic**: instead of a global RNG, each delay
+//! mixes the *request seed* and the attempt index through splitmix64.
+//! Two replays of the same trace therefore sleep the same schedule and
+//! produce bit-identical outcomes — the property the chaos harness
+//! (`load-gen --chaos`) asserts. Determinism costs nothing here:
+//! distinct requests still jitter apart from each other because their
+//! seeds differ.
+
+use std::time::Duration;
+use syncircuit_graph::fingerprint::splitmix64;
+
+/// Domain-separation salt for the jitter stream (distinct from every
+/// other splitmix64 consumer in the workspace).
+const JITTER_SALT: u64 = 0x9E77_5EED_B0FF_57A1;
+
+/// Retry policy for transient artifact-load IO failures.
+///
+/// Attempt `i` (zero-based) that fails with an IO error sleeps
+/// `delay(seed, i)` and tries again, until `max_attempts` attempts have
+/// run; the last failure surfaces to the caller. Parse failures are
+/// **not** retried — a corrupt artifact stays corrupt — they count
+/// toward quarantine instead (see
+/// [`QuarantinePolicy`](crate::QuarantinePolicy)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total load attempts (the first try included). Must be ≥ 1; a
+    /// value of 1 disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; attempt `i` waits
+    /// `base_delay × 2^i`, scaled by jitter.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay (applied before jitter).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 2 ms base delay, 50 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Attempt budget, never below 1 (a policy that runs zero attempts
+    /// could not fail *or* succeed).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Backoff before retrying after failed attempt `attempt`
+    /// (zero-based): `base_delay × 2^attempt`, capped at `max_delay`,
+    /// scaled by a deterministic jitter factor in `[0.5, 1.0]` derived
+    /// from `(seed, attempt)`. Pure: the same inputs always produce the
+    /// same delay, so a replayed trace backs off identically.
+    pub fn delay(&self, seed: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay.max(self.base_delay));
+        // splitmix64 output is uniform; take the top 53 bits for an
+        // exactly-representable fraction in [0, 1).
+        let bits = splitmix64(seed ^ JITTER_SALT ^ splitmix64(attempt as u64 + 1));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..4 {
+            let a = p.delay(42, attempt);
+            let b = p.delay(42, attempt);
+            assert_eq!(a, b, "same (seed, attempt) must jitter identically");
+            assert!(a <= p.max_delay, "delay {a:?} exceeds the cap");
+            let floor = p.base_delay.min(p.max_delay).mul_f64(0.5);
+            assert!(a >= floor, "delay {a:?} under the jitter floor");
+        }
+    }
+
+    #[test]
+    fn seeds_jitter_apart() {
+        let p = RetryPolicy::default();
+        // Not a strict requirement, but the whole point of jitter: two
+        // different request seeds should not back off in lockstep.
+        assert_ne!(p.delay(1, 0), p.delay(2, 0));
+    }
+
+    #[test]
+    fn backoff_grows_up_to_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        // Pre-jitter curve: 10, 20, 35, 35, ... — the jittered delay of
+        // a late attempt can therefore never exceed the cap.
+        for attempt in 0..8 {
+            assert!(p.delay(9, attempt) <= Duration::from_millis(35));
+        }
+        // A huge shift must not overflow.
+        let _ = p.delay(9, u32::MAX);
+    }
+
+    #[test]
+    fn none_never_waits() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(p.delay(7, 0), Duration::ZERO);
+    }
+}

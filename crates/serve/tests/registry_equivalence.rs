@@ -82,6 +82,7 @@ proptest! {
             workers: 2,
             queue_capacity: 64,
             budget: RegistryBudget::max_models(TENANTS / 2),
+            ..DaemonConfig::default()
         });
         let requests: Vec<(usize, GenRequest)> = (0..12u64)
             .map(|k| {
@@ -126,6 +127,7 @@ fn unbounded_registry_serves_identically_and_never_evicts() {
         workers: 4,
         queue_capacity: 64,
         budget: RegistryBudget::unlimited(),
+        ..DaemonConfig::default()
     });
     let mut expected = Vec::new();
     let mut tickets = Vec::new();
@@ -166,6 +168,7 @@ fn worker_count_is_invisible_in_served_bytes() {
             workers,
             queue_capacity: 32,
             budget: RegistryBudget::max_models(2),
+            ..DaemonConfig::default()
         });
         let tickets: Vec<_> = trace
             .iter()
@@ -190,11 +193,67 @@ fn worker_count_is_invisible_in_served_bytes() {
 }
 
 #[test]
+fn failure_counters_separate_io_from_quarantine() {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use syncircuit_serve::{
+        FaultInjector, ModelRegistry, QuarantinePolicy, ReadFault, RetryPolicy, ServeError,
+    };
+
+    /// Corrupts reads of exactly one artifact path.
+    #[derive(Debug)]
+    struct CorruptOne {
+        victim: String,
+    }
+
+    impl FaultInjector for CorruptOne {
+        fn artifact_read(&self, path: &str, _seed: u64, _attempt: u32) -> Option<ReadFault> {
+            (path == self.victim).then_some(ReadFault::Corrupt)
+        }
+    }
+
+    let paths = fleet();
+    let reg = ModelRegistry::with_resilience(
+        RegistryBudget::unlimited(),
+        RetryPolicy::none(),
+        QuarantinePolicy {
+            threshold: 2,
+            ttl: Duration::from_secs(3600),
+        },
+        Arc::new(CorruptOne {
+            victim: paths[0].clone(),
+        }),
+    );
+    // A healthy tenant loads and counts as a success, nothing else.
+    reg.get_or_load(&paths[1]).expect("clean artifact loads");
+    // A missing artifact is a load failure but never quarantines (IO
+    // says nothing about the bytes on disk).
+    assert!(reg.get_or_load("/no/such/model.json").is_err());
+    // The corrupted artifact strikes out, then fails fast.
+    for _ in 0..2 {
+        assert!(matches!(
+            reg.get_or_load(&paths[0]).unwrap_err(),
+            ServeError::Model(_)
+        ));
+    }
+    assert!(matches!(
+        reg.get_or_load(&paths[0]).unwrap_err(),
+        ServeError::Quarantined { .. }
+    ));
+    let s = reg.stats();
+    assert_eq!(s.loads, 1, "only the healthy artifact loaded");
+    assert_eq!(s.load_failures, 3, "one missing + two corrupt parses");
+    assert_eq!(s.quarantined, 1, "only the parse-striking artifact");
+    assert_eq!(s.resident, 1);
+}
+
+#[test]
 fn model_errors_surface_through_tickets() {
     let daemon = Daemon::start(DaemonConfig {
         workers: 1,
         queue_capacity: 8,
         budget: RegistryBudget::unlimited(),
+        ..DaemonConfig::default()
     });
     let ticket = daemon
         .submit("tenant-x", "/no/such/model.json", GenRequest::nodes(16))

@@ -56,7 +56,7 @@ use crate::area::CellLibrary;
 use crate::passes::optimized_area;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use syncircuit_graph::cone::{cone_circuit_parts, fanin_cone_into, ConeScratch};
 use syncircuit_graph::fingerprint::splitmix64;
 use syncircuit_graph::{CircuitGraph, NodeId, NodeType};
@@ -297,6 +297,25 @@ struct Shard {
     entries: AtomicUsize,
 }
 
+impl Shard {
+    /// Locks this shard's memo map, recovering a poisoned lock. The map
+    /// memoizes a pure function of the key, so a shard whose invariants
+    /// may have been broken by a panic mid-update is simply cleared:
+    /// entries are recomputable work, never state, and an empty shard
+    /// returns byte-identical areas (misses re-synthesize).
+    fn lock_map(&self) -> MutexGuard<'_, ShardMap> {
+        self.map.lock().unwrap_or_else(|poisoned| {
+            self.map.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.index.clear();
+            guard.slots.clear();
+            guard.hand = 0;
+            self.entries.store(0, Ordering::Relaxed);
+            guard
+        })
+    }
+}
+
 /// Lock-striped, thread-shareable memo table of per-cone synthesis
 /// results.
 ///
@@ -455,7 +474,7 @@ impl SharedConeSynthCache {
     /// `synth` runs outside the shard lock.
     fn area_or_insert(&self, key: u64, synth: impl FnOnce(&CellLibrary) -> f64) -> f64 {
         let shard = self.shard(key);
-        if let Some(a) = shard.map.lock().expect("cone shard poisoned").get(key) {
+        if let Some(a) = shard.lock_map().get(key) {
             if self.stats_enabled.load(Ordering::Relaxed) {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -465,12 +484,7 @@ impl SharedConeSynthCache {
             shard.misses.fetch_add(1, Ordering::Relaxed);
         }
         let a = synth(&self.lib);
-        match shard
-            .map
-            .lock()
-            .expect("cone shard poisoned")
-            .publish(key, a, self.capacity)
-        {
+        match shard.lock_map().publish(key, a, self.capacity) {
             Published::Already(first) => first,
             Published::Grew => {
                 shard.entries.fetch_add(1, Ordering::Relaxed);
@@ -888,6 +902,31 @@ mod tests {
             assert_eq!(s.misses, 0);
             assert_eq!(s.evictions, 0);
         }
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_by_clearing() {
+        let shared = Arc::new(SharedConeSynthCache::with_shards(CellLibrary::default(), 1));
+        let mut ev = ConeSynthCache::with_shared(shared.clone());
+        let g = probe(2);
+        let before = ev.pcs(&g);
+        assert!(shared.entries() > 0);
+        // Poison the shard: panic while holding its map lock.
+        let poisoner = shared.clone();
+        assert!(std::panic::catch_unwind(move || {
+            let _guard = poisoner.shards[0].map.lock().unwrap();
+            panic!("poison the cone shard");
+        })
+        .is_err());
+        // The next query recovers by clearing the shard — memo entries
+        // are recomputable work — and re-synthesizes byte-identically.
+        let after = ev.pcs(&g);
+        assert_eq!(before.to_bits(), after.to_bits());
+        assert!(shared.entries() > 0, "entry mirror re-tracks after the clear");
+        assert_eq!(
+            shared.entries(),
+            shared.stats().iter().map(|s| s.entries).sum::<usize>()
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@ bench-smoke:
 serve-smoke:
     cargo run --release -p syncircuit-bench --bin load-gen -- --requests 100 --tenants 4 --max-resident 2 --inflight 64 --queue 1024
 
+# chaos smoke: the deterministic fault-injection harness — 150 requests
+# with seeded IO errors, slow loads, corrupt artifacts, worker panics
+# and expiring deadlines; every outcome must match the plan's pure
+# prediction, survivors must be byte-identical to fault-free
+# generation, and shutdown must strand nothing
+chaos-smoke:
+    cargo run --release -p syncircuit-bench --bin load-gen -- --chaos 7 --requests 150 --tenants 3 --nodes 12 --max-resident 1
+
 # perf gate: fail when any previously-recorded benchmark's `current`
 # exceeds 1.3x its recorded baseline in BENCH_phase3.json (CI runs
 # this warn-only after bench-smoke refreshes the trajectory)
@@ -82,4 +90,4 @@ stress:
     @echo "release determinism: two runs identical"
 
 # everything CI checks, in CI order
-ci: build test lint doc example-smoke serve-smoke stress
+ci: build test lint doc example-smoke serve-smoke chaos-smoke stress

@@ -18,7 +18,9 @@
 //! - [`ppa`] — downstream RTL-stage PPA prediction (MasterRTL/RTL-Timer
 //!   style)
 //! - [`serve`] — in-process serving daemon: LRU model registry,
-//!   admission control with backpressure, tenant-fair scheduling
+//!   admission control with backpressure, tenant-fair scheduling, and
+//!   a fault-isolation layer (deadlines, seeded retries, quarantine,
+//!   worker panic recovery) with a deterministic chaos harness
 //!
 //! The service-ready generation surface is re-exported at the crate
 //! root: [`SynCircuit`], the validating [`PipelineConfig`] builder, the
@@ -65,4 +67,7 @@ pub use syncircuit_core::{
     PipelineConfig, PipelineConfigBuilder, RequestError, SynCircuit,
 };
 
-pub use syncircuit_serve::{Daemon, DaemonConfig, RegistryBudget, ServeError};
+pub use syncircuit_serve::{
+    Daemon, DaemonConfig, FaultInjector, FaultPlan, QuarantinePolicy, RegistryBudget, RetryPolicy,
+    ServeError,
+};
