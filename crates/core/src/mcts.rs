@@ -170,7 +170,7 @@ impl MctsConfig {
 }
 
 /// Outcome of one optimization run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MctsOutcome {
     /// Best state found (≥ initial by reward).
     pub best: CircuitGraph,

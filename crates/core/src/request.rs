@@ -29,6 +29,7 @@ use crate::diffusion::SamplerScratch;
 use crate::error::Error;
 use crate::pipeline::{Generated, SynCircuit};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{DeError, Deserialize, Serialize, Value};
 use syncircuit_graph::Node;
 
 /// Per-request phase toggles (Phase 2, validity refinement, always
@@ -150,6 +151,64 @@ impl GenRequest {
     }
 }
 
+/// Wire encoding of a [`GenRequest`]: a flat JSON object carrying every
+/// request field, *including* the deadline (as integer milliseconds in
+/// `deadline_ms`) — the time budget used to be a process-local
+/// operational knob invisible to serialization, which meant a remote
+/// client could not set one. Field order is fixed, so the rendered text
+/// is a canonical form: two requests are identical iff their encodings
+/// are (the serving layer's request-coalescing key relies on this).
+///
+/// Sub-millisecond budgets truncate to whole milliseconds on the wire
+/// (a zero budget — "expire immediately" — survives as `0`).
+impl Serialize for GenRequest {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("nodes".to_string(), self.nodes.serialize()),
+            ("seed".to_string(), self.seed.serialize()),
+            ("attrs".to_string(), self.attrs.serialize()),
+            ("diffusion".to_string(), self.phases.diffusion.serialize()),
+            ("optimize".to_string(), self.phases.optimize.serialize()),
+            (
+                "deadline_ms".to_string(),
+                self.deadline
+                    .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+                    .serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for GenRequest {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(DeError::msg("expected object for GenRequest"));
+        }
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::msg(&format!("missing field `{name}` in GenRequest")))
+        };
+        let attrs: Option<Vec<Node>> = Deserialize::deserialize(field("attrs")?)?;
+        if let Some(attrs) = &attrs {
+            if attrs.is_empty() {
+                return Err(DeError::msg("GenRequest attrs must be non-empty when present"));
+            }
+        }
+        let deadline_ms: Option<u64> = Deserialize::deserialize(field("deadline_ms")?)?;
+        Ok(GenRequest {
+            nodes: Deserialize::deserialize(field("nodes")?)?,
+            seed: Deserialize::deserialize(field("seed")?)?,
+            attrs,
+            phases: PhaseToggles {
+                diffusion: Deserialize::deserialize(field("diffusion")?)?,
+                optimize: Deserialize::deserialize(field("optimize")?)?,
+            },
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+        })
+    }
+}
+
 /// A lazy, infinite stream of generated designs from one trained model.
 ///
 /// Created by [`crate::SynCircuit::stream`]. The generator owns the RNG
@@ -232,6 +291,61 @@ mod tests {
         assert_eq!(r.time_budget(), None);
         let d = std::time::Duration::from_millis(250);
         assert_eq!(r.deadline(d).time_budget(), Some(d));
+    }
+
+    #[test]
+    fn requests_round_trip_the_wire_encoding() {
+        let requests = vec![
+            GenRequest::nodes(12),
+            GenRequest::nodes(40).seeded(9).without_diffusion().optimize(true),
+            GenRequest::nodes(7)
+                .seeded(u64::MAX)
+                .deadline(std::time::Duration::from_millis(250)),
+            GenRequest::nodes(3).deadline(std::time::Duration::ZERO),
+            GenRequest::with_attrs(vec![
+                Node::new(NodeType::Input, 8),
+                Node::new(NodeType::Output, 8),
+            ])
+            .seeded(4)
+            .optimize(false),
+        ];
+        for r in requests {
+            let text = serde_json::to_string(&r).unwrap();
+            let back: GenRequest = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, r, "round-trip must be lossless: {text}");
+            // Canonical form: identical requests render identical text.
+            assert_eq!(serde_json::to_string(&back).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn deadline_survives_the_wire_as_millis() {
+        let r = GenRequest::nodes(8).deadline(std::time::Duration::from_millis(1500));
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(text.contains("\"deadline_ms\":1500"), "{text}");
+        let back: GenRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.time_budget(), Some(std::time::Duration::from_millis(1500)));
+        // Sub-millisecond budgets truncate to wire granularity.
+        let fine = GenRequest::nodes(8).deadline(std::time::Duration::from_micros(2500));
+        let back: GenRequest = serde_json::from_str(&serde_json::to_string(&fine).unwrap()).unwrap();
+        assert_eq!(back.time_budget(), Some(std::time::Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn malformed_request_objects_fail_typed() {
+        for bad in [
+            "[]",
+            "{\"nodes\": 4}",
+            "{\"nodes\": -1, \"seed\": null, \"attrs\": null, \"diffusion\": true, \
+             \"optimize\": null, \"deadline_ms\": null}",
+            "{\"nodes\": 4, \"seed\": null, \"attrs\": [], \"diffusion\": true, \
+             \"optimize\": null, \"deadline_ms\": null}",
+        ] {
+            assert!(
+                serde_json::from_str::<GenRequest>(bad).is_err(),
+                "must reject: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -97,6 +97,12 @@ pub struct DaemonStats {
     /// Jobs failed by an isolated worker panic
     /// ([`ServeError::WorkerPanicked`]).
     pub panicked: u64,
+    /// Submissions that attached to an identical in-flight execution
+    /// instead of queueing their own (see [`crate::Coalescer`]).
+    pub coalesce_hits: u64,
+    /// Submissions the coalescer passed through to the queue as the
+    /// leader of a (possibly singleton) identical group.
+    pub coalesce_misses: u64,
 }
 
 /// One queued generation job.
@@ -255,6 +261,8 @@ struct Shared {
     rejected: std::sync::atomic::AtomicU64,
     expired: std::sync::atomic::AtomicU64,
     panicked: std::sync::atomic::AtomicU64,
+    coalesce_hits: std::sync::atomic::AtomicU64,
+    coalesce_misses: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -330,6 +338,8 @@ impl Daemon {
             rejected: std::sync::atomic::AtomicU64::new(0),
             expired: std::sync::atomic::AtomicU64::new(0),
             panicked: std::sync::atomic::AtomicU64::new(0),
+            coalesce_hits: std::sync::atomic::AtomicU64::new(0),
+            coalesce_misses: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -409,7 +419,24 @@ impl Daemon {
             queued: self.shared.lock_queues().queued,
             expired: self.shared.expired.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
+            coalesce_hits: self.shared.coalesce_hits.load(Ordering::Relaxed),
+            coalesce_misses: self.shared.coalesce_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records a coalescer hit (a submission attached to an identical
+    /// in-flight execution).
+    pub(crate) fn note_coalesce_hit(&self) {
+        self.shared
+            .coalesce_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a coalescer miss (a submission that led its group).
+    pub(crate) fn note_coalesce_miss(&self) {
+        self.shared
+            .coalesce_misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Stops admitting, drains every queued job, joins the workers, and
@@ -424,7 +451,7 @@ impl Daemon {
         self.stats()
     }
 
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         let mut queues = self.shared.lock_queues();
         queues.shutting_down = true;
         drop(queues);
@@ -433,7 +460,7 @@ impl Daemon {
 
     /// Fails every still-queued job (only possible with zero workers —
     /// workers drain the queue before exiting).
-    fn fail_stranded(&self) {
+    pub(crate) fn fail_stranded(&self) {
         let mut queues = self.shared.lock_queues();
         while let Some(job) = queues.pop_round_robin() {
             fill(&job.slot, Err(ServeError::ShuttingDown));

@@ -50,6 +50,19 @@ pub enum JobFault {
     Panic,
 }
 
+/// A fault injected at the network server's connection seam, decided
+/// per request as it arrives off the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// The server hangs up on the connection without answering this
+    /// request (the client sees a clean close; the server must not
+    /// strand the admitted job's ticket).
+    Drop,
+    /// The server delays this request's response write (a congested
+    /// link; never an error, exercises client-side timeout paths).
+    Slow(Duration),
+}
+
 /// The two injection seams the serving stack consults. The default
 /// methods inject nothing, so any real deployment runs on [`NoFaults`]
 /// with zero overhead beyond a virtual call per seam.
@@ -64,6 +77,14 @@ pub trait FaultInjector: Send + Sync + fmt::Debug {
     /// Consulted by a worker immediately before executing the job for
     /// the request with resolved seed hint `seed`.
     fn job_start(&self, seed: u64) -> Option<JobFault> {
+        let _ = seed;
+        None
+    }
+
+    /// Consulted by the network server for each request arriving off
+    /// the wire, keyed by the request's seed hint (so decisions stay
+    /// pure under any connection schedule).
+    fn connection(&self, seed: u64) -> Option<ConnFault> {
         let _ = seed;
         None
     }
@@ -86,12 +107,21 @@ pub struct FaultCounts {
     pub corrupt_reads: u64,
     /// Worker panics injected.
     pub panics: u64,
+    /// Connections dropped mid-conversation at the network seam.
+    pub conn_drops: u64,
+    /// Response writes slowed at the network seam.
+    pub conn_slows: u64,
 }
 
 impl FaultCounts {
     /// Total faults injected across all kinds.
     pub fn total(&self) -> u64 {
-        self.io_errors + self.slow_reads + self.corrupt_reads + self.panics
+        self.io_errors
+            + self.slow_reads
+            + self.corrupt_reads
+            + self.panics
+            + self.conn_drops
+            + self.conn_slows
     }
 }
 
@@ -121,6 +151,8 @@ const SITE_CORRUPT: u64 = 0xC0_22BAD;
 const SITE_IO: u64 = 0x10_E225;
 const SITE_IO_COUNT: u64 = 0x10_C027;
 const SITE_SLOW: u64 = 0x5_10AD;
+const SITE_CONN_DROP: u64 = 0xD20_9C0;
+const SITE_CONN_SLOW: u64 = 0xC0_55ED;
 
 /// A seeded, deterministic fault schedule.
 ///
@@ -148,10 +180,19 @@ pub struct FaultPlan {
     pub slow_permille: u64,
     /// Injected delay of a slow read.
     pub slow_delay: Duration,
+    /// Per-mille of wire requests whose connection is dropped before
+    /// the response is written (network seam; 0 off the wire).
+    pub conn_drop_permille: u64,
+    /// Per-mille of wire requests whose response write is delayed.
+    pub conn_slow_permille: u64,
+    /// Injected delay of a slowed response write.
+    pub conn_slow_delay: Duration,
     io_errors: AtomicU64,
     slow_reads: AtomicU64,
     corrupt_reads: AtomicU64,
     panics: AtomicU64,
+    conn_drops: AtomicU64,
+    conn_slows: AtomicU64,
 }
 
 impl FaultPlan {
@@ -165,10 +206,26 @@ impl FaultPlan {
             io_permille: 250,
             slow_permille: 150,
             slow_delay: Duration::from_millis(2),
+            conn_drop_permille: 0,
+            conn_slow_permille: 0,
+            conn_slow_delay: Duration::from_millis(2),
             io_errors: AtomicU64::new(0),
             slow_reads: AtomicU64::new(0),
             corrupt_reads: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            conn_drops: AtomicU64::new(0),
+            conn_slows: AtomicU64::new(0),
+        }
+    }
+
+    /// The seeded plan with the wire seam switched on too: 8% dropped
+    /// connections, 10% slowed response writes (2 ms), on top of the
+    /// default chaos mix. For `--chaos --net` runs.
+    pub fn seeded_with_conn_faults(seed: u64) -> Self {
+        FaultPlan {
+            conn_drop_permille: 80,
+            conn_slow_permille: 100,
+            ..Self::seeded(seed)
         }
     }
 
@@ -184,6 +241,8 @@ impl FaultPlan {
             slow_reads: self.slow_reads.load(Ordering::Relaxed),
             corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            conn_drops: self.conn_drops.load(Ordering::Relaxed),
+            conn_slows: self.conn_slows.load(Ordering::Relaxed),
         }
     }
 
@@ -212,6 +271,18 @@ impl FaultPlan {
 
     fn slows_for(&self, seed: u64) -> bool {
         self.roll(SITE_SLOW, seed) < self.slow_permille
+    }
+
+    /// The pure decision behind [`FaultInjector::connection`] (no
+    /// counters touched). Drop takes precedence over slow.
+    pub fn decide_conn(&self, seed: u64) -> Option<ConnFault> {
+        if self.roll(SITE_CONN_DROP, seed) < self.conn_drop_permille {
+            Some(ConnFault::Drop)
+        } else if self.roll(SITE_CONN_SLOW, seed) < self.conn_slow_permille {
+            Some(ConnFault::Slow(self.conn_slow_delay))
+        } else {
+            None
+        }
     }
 
     /// The pure decision behind [`FaultInjector::artifact_read`]
@@ -266,6 +337,16 @@ impl FaultInjector for FaultPlan {
         } else {
             None
         }
+    }
+
+    fn connection(&self, seed: u64) -> Option<ConnFault> {
+        let fault = self.decide_conn(seed);
+        match fault {
+            Some(ConnFault::Drop) => self.conn_drops.fetch_add(1, Ordering::Relaxed),
+            Some(ConnFault::Slow(_)) => self.conn_slows.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        fault
     }
 }
 
@@ -424,6 +505,35 @@ mod tests {
         for seed in 0..50 {
             assert_eq!(nf.artifact_read("p", seed, 0), None);
             assert_eq!(nf.job_start(seed), None);
+            assert_eq!(nf.connection(seed), None);
         }
+    }
+
+    #[test]
+    fn connection_faults_are_pure_gated_and_counted() {
+        // The default plan keeps the wire seam off.
+        let off = FaultPlan::seeded(7);
+        for seed in 0..200u64 {
+            assert_eq!(off.decide_conn(seed), None);
+        }
+        let a = FaultPlan::seeded_with_conn_faults(7);
+        let b = FaultPlan::seeded_with_conn_faults(7);
+        let mut drops = 0;
+        let mut slows = 0;
+        for seed in 0..400u64 {
+            let decided = a.decide_conn(seed);
+            assert_eq!(decided, b.decide_conn(seed), "pure in the seed");
+            assert_eq!(decided, a.connection(seed), "injection mirrors decision");
+            match decided {
+                Some(ConnFault::Drop) => drops += 1,
+                Some(ConnFault::Slow(_)) => slows += 1,
+                None => {}
+            }
+        }
+        assert!(drops > 0 && slows > 0, "both wire fault kinds occur");
+        let c = a.counts();
+        assert_eq!(c.conn_drops, drops);
+        assert_eq!(c.conn_slows, slows);
+        assert!(c.total() >= drops + slows);
     }
 }

@@ -79,17 +79,24 @@
 
 #![warn(missing_docs)]
 
+mod client;
+mod coalesce;
 mod daemon;
 mod error;
 mod fault;
 mod registry;
 mod retry;
+mod server;
+pub mod wire;
 
+pub use client::{ClientError, NetClient};
+pub use coalesce::{CoalesceTicket, Coalescer};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats, Ticket};
 pub use error::ServeError;
+pub use server::{NetServer, NetServerConfig};
 pub use fault::{
-    corrupt_text, silence_injected_panics, FaultCounts, FaultInjector, FaultPlan, JobFault,
-    NoFaults, Predicted, ReadFault, INJECTED_PANIC_MARK,
+    corrupt_text, silence_injected_panics, ConnFault, FaultCounts, FaultInjector, FaultPlan,
+    JobFault, NoFaults, Predicted, ReadFault, INJECTED_PANIC_MARK,
 };
 pub use registry::{ModelRegistry, QuarantinePolicy, RegistryBudget, RegistryStats};
 pub use retry::RetryPolicy;

@@ -46,6 +46,15 @@ serve-smoke:
 chaos-smoke:
     cargo run --release -p syncircuit-bench --bin load-gen -- --chaos 7 --requests 150 --tenants 3 --nodes 12 --max-resident 1
 
+# network smoke: ~100 mixed-tenant requests plus a coalesced-duplicate
+# burst over real TCP (one pipelined connection), every response
+# byte-identical to direct generation and coalesce hits > 0 — then the
+# same trace under seeded connection drops/slow writes (--chaos --net),
+# where nothing may strand or hang
+net-smoke:
+    cargo run --release -p syncircuit-bench --bin load-gen -- --net --requests 100 --tenants 3 --workers 4 --max-resident 2 --inflight 64 --queue 1024
+    cargo run --release -p syncircuit-bench --bin load-gen -- --chaos 7 --net --requests 100 --tenants 3 --nodes 12 --max-resident 1
+
 # perf gate: fail when any previously-recorded benchmark's `current`
 # exceeds 1.3x its recorded baseline in BENCH_phase3.json (CI runs
 # this warn-only after bench-smoke refreshes the trajectory)
@@ -53,13 +62,14 @@ perf-check:
     cargo run --release -p syncircuit-bench --bin bench-json -- --check BENCH_phase3.json
 
 # machine-readable perf trajectory: run the micro bench with JSON
-# capture, then the serving load generator, and merge both into
-# BENCH_phase3.json (baseline preserved, current refreshed, per-bench
-# speedup derived)
+# capture, then the serving load generator (in-process and over TCP),
+# and merge all three into BENCH_phase3.json (baseline preserved,
+# current refreshed, per-bench speedup derived)
 bench-json:
     BENCH_JSON=/tmp/syncircuit-bench-current.json cargo bench -p syncircuit-bench --bench micro
     cargo run --release -p syncircuit-bench --bin load-gen -- --json /tmp/syncircuit-serve-load.json
-    cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json /tmp/syncircuit-serve-load.json BENCH_phase3.json
+    cargo run --release -p syncircuit-bench --bin load-gen -- --net --json /tmp/syncircuit-serve-net.json
+    cargo run --release -p syncircuit-bench --bin bench-json -- /tmp/syncircuit-bench-current.json /tmp/syncircuit-serve-load.json /tmp/syncircuit-serve-net.json BENCH_phase3.json
 
 # run every table/figure harness (slow; regenerates the paper numbers)
 bench-all:
@@ -90,4 +100,4 @@ stress:
     @echo "release determinism: two runs identical"
 
 # everything CI checks, in CI order
-ci: build test lint doc example-smoke serve-smoke chaos-smoke stress
+ci: build test lint doc example-smoke serve-smoke chaos-smoke net-smoke stress
