@@ -17,15 +17,26 @@
 //!   bench-json` wires the steps together.
 //! - `bench-json --check <trajectory.json>` — perf gate (`just
 //!   perf-check`): fails when any previously-recorded benchmark's
-//!   `current` exceeds `1.3 ×` its recorded `baseline` (CI runs it
-//!   warn-only for now; single-core CI noise makes a hard gate
-//!   premature).
+//!   `current` exceeds `1.3 ×` its recorded `baseline`, or when a
+//!   bench listed in [`IMPROVEMENT_FLOORS`] no longer shows its landed
+//!   speedup over the baseline (CI runs it warn-only for now;
+//!   single-core CI noise makes a hard gate premature).
 
 use serde_json::Value;
 use std::process::ExitCode;
 
 /// A benchmark regresses when `current > baseline × REGRESSION_LIMIT`.
 const REGRESSION_LIMIT: f64 = 1.3;
+
+/// Landed optimizations the gate holds on to: `baseline / current`
+/// must stay at or above the floor for each of these benches, so a
+/// later change cannot quietly give the win back while staying inside
+/// the ordinary regression limit.
+const IMPROVEMENT_FLOORS: &[(&str, f64)] = &[
+    // Batched decoder-head scoring through the panel-packed
+    // shared-suffix kernels (measured 1.5–1.6× on the CI container).
+    ("diffusion_sample_144_nodes", 1.5),
+];
 
 fn read_object(path: &str) -> Option<Vec<(String, Value)>> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -82,6 +93,25 @@ fn check(path: &str) -> ExitCode {
         if get(current, name).and_then(as_ns).is_none() {
             regressions += 1;
             eprintln!("MISSING {name}: recorded in baseline but absent from the current run");
+        }
+    }
+    // Landed step-changes must hold, not merely avoid regressing.
+    for &(name, floor) in IMPROVEMENT_FLOORS {
+        let (Some(base), Some(cur)) = (
+            get(baseline, name).and_then(as_ns),
+            get(current, name).and_then(as_ns),
+        ) else {
+            regressions += 1;
+            eprintln!("MISSING {name}: an improvement floor is recorded but the bench is not");
+            continue;
+        };
+        audited += 1;
+        if cur <= 0.0 || base / cur < floor {
+            regressions += 1;
+            eprintln!(
+                "IMPROVEMENT LOST {name}: {cur:.0} ns is {:.2}x vs baseline {base:.0} ns (floor {floor}x)",
+                base / cur
+            );
         }
     }
     if regressions > 0 {

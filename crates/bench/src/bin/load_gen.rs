@@ -158,9 +158,18 @@ fn train_fleet(dir: &std::path::Path, tenants: usize) -> Vec<String> {
         .collect()
 }
 
+/// Nearest-rank percentile: the smallest sample with at least `p` of
+/// the distribution at or below it, i.e. rank `⌈n·p⌉` (1-based).
+///
+/// The previous `((n-1)·p).round()` interpolation-style index biases
+/// low and reads the wrong sample on small `n` — e.g. the p50 of four
+/// samples is the 2nd (rank ⌈4·0.5⌉ = 2), not the 3rd
+/// (`round(3·0.5) = 2` zero-based), and the p50 of two samples is the
+/// 1st, not the 2nd.
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = (sorted.len() as f64 * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// What the chaos harness expects one request's ticket to resolve to.
@@ -938,5 +947,38 @@ fn main() -> ExitCode {
             eprintln!("load-gen: error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(xs: &[u64]) -> Vec<Duration> {
+        xs.iter().map(|&x| Duration::from_millis(x)).collect()
+    }
+
+    /// Nearest-rank answers for every n in 1..=5, pinned against the
+    /// hand-computed ranks. The n=2 and n=4 medians are exactly the
+    /// cases where the old `((n-1)·p).round()` index picked the sample
+    /// one slot too high.
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let p50 = |xs: &[u64]| percentile(&ms(xs), 0.50).as_millis() as u64;
+        let p99 = |xs: &[u64]| percentile(&ms(xs), 0.99).as_millis() as u64;
+
+        assert_eq!(p50(&[10]), 10);
+        assert_eq!(p50(&[10, 20]), 10); // rank ⌈2·0.5⌉ = 1 — old formula said 20
+        assert_eq!(p50(&[10, 20, 30]), 20);
+        assert_eq!(p50(&[10, 20, 30, 40]), 20); // rank 2 — old formula said 30
+        assert_eq!(p50(&[10, 20, 30, 40, 50]), 30);
+
+        // p99 of small samples is the maximum, under both formulas.
+        for n in 1..=5u64 {
+            let xs: Vec<u64> = (1..=n).map(|i| i * 10).collect();
+            assert_eq!(p99(&xs), n * 10);
+        }
+        // p0 clamps to the minimum instead of underflowing rank 0.
+        assert_eq!(percentile(&ms(&[10, 20]), 0.0).as_millis(), 10);
     }
 }

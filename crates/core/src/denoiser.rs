@@ -16,7 +16,7 @@ use crate::attrs::AttrModel;
 use rand::Rng;
 use syncircuit_nn::layers::{Linear, Mlp};
 use syncircuit_nn::sparse::RowNormAdj;
-use syncircuit_nn::{Infer, InferScratch, Matrix, ParamStore, Tape, Var};
+use syncircuit_nn::{Infer, InferScratch, Matrix, PackedB, ParamStore, Tape, Var};
 use syncircuit_graph::Node;
 use std::rc::Rc;
 
@@ -188,28 +188,72 @@ impl Denoiser {
         cache
     }
 
+    /// Packs every weight matrix the serving path multiplies by — the
+    /// feature projection, both matrices of each MPNN layer, and the
+    /// decoder head — into the panel layout of
+    /// [`Matrix::matmul_packed_into`]. Like the time-embedding cache,
+    /// the pack is a pure function of `(self, store)`: rebuild it
+    /// whenever the parameters change (model assembly does).
+    pub fn pack_weights(&self, store: &ParamStore) -> DenoiserWeightPack {
+        DenoiserWeightPack {
+            feat_proj: self.feat_proj.pack(store),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| (l.w_h.pack(store), l.w_m.pack(store)))
+                .collect(),
+            head: self.head.pack(store),
+        }
+    }
+
+    /// Feature projection of the encoder — `features·W + b` with the
+    /// packed kernel — written into `out`. The projection depends only
+    /// on the node features (not on the diffusion step or the noisy
+    /// adjacency), so the sampler computes it once per graph and feeds
+    /// the same buffer to every [`Denoiser::predict_probs_into`] call.
+    /// Bit-identical to running the layer inside each call: same
+    /// kernel, same inputs, and copies of f32 values preserve bits.
+    pub fn project_features_into(
+        &self,
+        store: &ParamStore,
+        features: &Matrix,
+        pack: &DenoiserWeightPack,
+        out: &mut Matrix,
+    ) {
+        self.feat_proj.forward_packed_into(store, features, &pack.feat_proj, out);
+    }
+
     /// Encode + decode + sigmoid on the forward-only inference engine,
     /// writing the per-pair probabilities into `out` (cleared first).
     ///
     /// Bit-identical to [`Denoiser::predict_probs`] for the same inputs
     /// (property-tested in `tests/infer_equivalence.rs`): every op
     /// replicates the tape op's arithmetic, the cached time embeddings
-    /// equal the per-pass MLP outputs, and the broadcast `add_row` plus
+    /// equal the per-pass MLP outputs, the broadcast `add_row` plus
     /// the fused decoder-input build perform the same scalar operations
-    /// as the tape's gather-then-combine sequence.
+    /// as the tape's gather-then-combine sequence, and every matmul
+    /// runs on the packed SIMD kernel, which is proven bit-equal to the
+    /// naive kernel per op (`pack` must come from
+    /// [`Denoiser::pack_weights`] over the same `store`).
+    ///
+    /// `proj` must hold [`Denoiser::project_features_into`] over the
+    /// graph's feature matrix (the tape path computes the same values
+    /// inline; hoisting the step-invariant layer out of the loop does
+    /// not change a single bit of it).
     ///
     /// Warm-path allocation-free: intermediates live in `scratch`,
-    /// `features` and `noisy_adj` are borrowed, and the index buffers
+    /// `proj` and `noisy_adj` are borrowed, and the index buffers
     /// are reused across calls.
     #[allow(clippy::too_many_arguments)]
     pub fn predict_probs_into(
         &self,
         store: &ParamStore,
-        features: &Matrix,
+        proj: &Matrix,
         noisy_adj: &RowNormAdj,
         pairs: &[(u32, u32)],
         t: usize,
         cache: &TimeEmbCache,
+        pack: &DenoiserWeightPack,
         scratch: &mut DenoiserScratch,
         out: &mut Vec<f32>,
     ) {
@@ -218,50 +262,58 @@ impl Denoiser {
             return;
         }
         let mut inf = Infer::new(store, &mut scratch.infer);
-        // Encoder (same op sequence as `encode`, time MLP from cache).
-        let x = inf.constant(features);
-        let mut h = self.feat_proj.forward_infer(&mut inf, x);
+        // Encoder (same op sequence as `encode`; the feature projection
+        // arrives precomputed, the time MLP from its cache).
+        let mut h = inf.constant(proj);
         let temb = inf.constant(&cache.t_emb[t]);
-        h = inf.add_row(h, temb);
-        h = inf.relu(h);
-        for layer in &self.layers {
-            let self_term = layer.w_h.forward_infer(&mut inf, h);
-            let msg = layer.w_m.forward_infer(&mut inf, h);
+        h = inf.add_row_relu(h, temb);
+        for (layer, (wh_p, wm_p)) in self.layers.iter().zip(&pack.layers) {
+            let self_term = layer.w_h.forward_infer_packed(&mut inf, h, wh_p);
+            let msg = layer.w_m.forward_infer_packed(&mut inf, h, wm_p);
             let agg = inf.spmm_mean(noisy_adj, msg);
-            let sum = inf.add(self_term, agg);
-            h = inf.relu(sum);
+            h = inf.add_relu(self_term, agg);
         }
-        // Decoder: the tape's gather → add_row → hadamard →
-        // concat chain, fused into one pass that writes the head input
-        // `[(H_i + r(t)) ⊙ H_j | d(t)]` row by row — the same scalar
-        // operations per element, so bit-identical, without the five
-        // K×hidden intermediates.
+        // Decoder: the tape's gather → add_row → hadamard chain, fused
+        // into one pass that writes the per-pair head input
+        // `(H_i + r(t)) ⊙ H_j` row by row — the same scalar operations
+        // per element, so bit-identical, without the K×hidden
+        // intermediates. The time conditioning `d(t)` — identical for
+        // every pair — is never materialised: the head's first layer
+        // treats it as a shared suffix row (same bits again, see
+        // `Mlp::forward_infer_packed_cat`).
         {
             let hval = inf.value(h);
-            let r = cache.r[t].data();
-            let d = cache.d[t].data();
             let hc = hval.cols();
-            scratch.cat.reset_shape_any(pairs.len(), 2 * hc);
-            for (row, &(i, j)) in scratch
-                .cat
-                .data_mut()
-                .chunks_exact_mut(2 * hc)
-                .zip(pairs)
-            {
-                let hi = hval.row(i as usize);
-                let hj = hval.row(j as usize);
-                let (prod, time) = row.split_at_mut(hc);
-                for ((p, (&a, &b)), &rr) in prod.iter_mut().zip(hi.iter().zip(hj)).zip(r) {
-                    *p = (a + rr) * b;
+            let r = &cache.r[t].data()[..hc];
+            let hdata = hval.data();
+            scratch.cat.reset_shape_any(pairs.len(), hc);
+            for (row, &(i, j)) in scratch.cat.data_mut().chunks_exact_mut(hc).zip(pairs) {
+                let hi = &hdata[i as usize * hc..i as usize * hc + hc];
+                let hj = &hdata[j as usize * hc..j as usize * hc + hc];
+                for k in 0..hc {
+                    row[k] = (hi[k] + r[k]) * hj[k];
                 }
-                time.copy_from_slice(d);
             }
         }
         let cat = inf.constant(&scratch.cat);
-        let logits = self.head.forward_infer(&mut inf, cat);
-        let probs = inf.sigmoid(logits);
-        out.extend_from_slice(inf.value(probs).data());
+        let logits =
+            self.head
+                .forward_infer_packed_cat(&mut inf, cat, cache.d[t].data(), &pack.head);
+        inf.sigmoid_append(logits, out);
     }
+}
+
+/// Panel-packed copies of every weight matrix on the serving path of
+/// one trained denoiser (see [`Denoiser::pack_weights`]): the feature
+/// projection, `(W_h, W_m)` per MPNN layer, and the decoder head's
+/// layers. Pure acceleration state — the row-major [`ParamStore`]
+/// remains the source of truth (and still provides the biases, which
+/// `add_row` reads unpacked).
+#[derive(Clone, Debug)]
+pub struct DenoiserWeightPack {
+    feat_proj: PackedB,
+    layers: Vec<(PackedB, PackedB)>,
+    head: Vec<PackedB>,
 }
 
 /// Cached time-conditioned embeddings of one trained denoiser: row `t`
@@ -293,9 +345,25 @@ impl DenoiserScratch {
 
 /// Builds the `N×FEATURE_DIM` attribute feature matrix.
 pub fn feature_matrix(attrs: &[Node]) -> Matrix {
-    let rows: Vec<Vec<f32>> = attrs.iter().map(AttrModel::features).collect();
-    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-    Matrix::from_rows(&refs)
+    let mut out = Matrix::zeros(0, 0);
+    feature_matrix_into(attrs, &mut out);
+    out
+}
+
+/// [`feature_matrix`] into a reused buffer — the sampler hot loop's
+/// variant (one temporary `Vec` per *call* beats one per *node*).
+/// Identical values by construction: both paths write each row as
+/// [`AttrModel::features`] does (zeros, one-hot category, log-width).
+pub fn feature_matrix_into(attrs: &[Node], out: &mut Matrix) {
+    out.reset_shape(attrs.len(), AttrModel::FEATURE_DIM);
+    for (row, node) in out
+        .data_mut()
+        .chunks_exact_mut(AttrModel::FEATURE_DIM)
+        .zip(attrs)
+    {
+        row[node.ty().category()] = 1.0;
+        row[AttrModel::FEATURE_DIM - 1] = (node.width() as f32).log2() / 6.0;
+    }
 }
 
 /// Builds the mean-over-parents operator from a parent-list adjacency.

@@ -16,7 +16,8 @@
 //! the reference implementation used in tests.
 
 use crate::denoiser::{
-    adjacency_operator, feature_matrix, Denoiser, DenoiserScratch, TimeEmbCache,
+    adjacency_operator, feature_matrix, feature_matrix_into, Denoiser, DenoiserScratch,
+    DenoiserWeightPack, TimeEmbCache,
 };
 use crate::error::Error;
 use crate::schedule::NoiseSchedule;
@@ -207,6 +208,10 @@ pub struct DiffusionModel {
     /// model is assembled (end of training or artifact restore), which
     /// is the only time parameters can change.
     pub(crate) time_cache: TimeEmbCache,
+    /// Panel-packed serving copies of every weight matrix the sampler
+    /// multiplies by (same lifecycle as `time_cache`: rebuilt at
+    /// assembly, immutable afterwards).
+    pub(crate) weight_pack: DenoiserWeightPack,
 }
 
 /// Reusable buffers for [`DiffusionModel::sample_with`]: the denoiser
@@ -218,6 +223,8 @@ pub struct DiffusionModel {
 #[derive(Debug, Default)]
 pub struct SamplerScratch {
     den: DenoiserScratch,
+    feats: Matrix,
+    proj: Matrix,
     adj: RowNormAdj,
     current: Vec<Vec<u32>>,
     next: Vec<Vec<u32>>,
@@ -421,12 +428,14 @@ impl DiffusionModel {
         mean_degree: f64,
     ) -> Self {
         let time_cache = denoiser.build_time_cache(&store);
+        let weight_pack = denoiser.pack_weights(&store);
         DiffusionModel {
             store,
             denoiser,
             config,
             mean_degree,
             time_cache,
+            weight_pack,
         }
     }
 
@@ -479,7 +488,16 @@ impl DiffusionModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let pi = (self.mean_degree / n.max(2) as f64).clamp(1e-4, 0.5);
         let schedule = NoiseSchedule::cosine(self.config.steps, pi);
-        let feats = feature_matrix(attrs);
+        feature_matrix_into(attrs, &mut scratch.feats);
+        // The encoder's feature projection is step-invariant: hoist it
+        // out of the reverse-diffusion loop (bit-identical, see
+        // `Denoiser::project_features_into`).
+        self.denoiser.project_features_into(
+            &self.store,
+            &scratch.feats,
+            &self.weight_pack,
+            &mut scratch.proj,
+        );
         scratch.reg_mask.clear();
         scratch
             .reg_mask
@@ -515,15 +533,15 @@ impl DiffusionModel {
             scratch.adj.rebuild_from_parents(&scratch.current);
             self.denoiser.predict_probs_into(
                 &self.store,
-                &feats,
+                &scratch.proj,
                 &scratch.adj,
                 &scratch.pairs,
                 t,
                 &self.time_cache,
+                &self.weight_pack,
                 &mut scratch.den,
                 &mut scratch.p0,
             );
-
             // The two-state posterior depends only on `(t, a_t, a_0)` —
             // hoist all four values out of the pair loop;
             // `posterior_prob` is then the same two multiplies per pair

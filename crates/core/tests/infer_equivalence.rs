@@ -156,16 +156,153 @@ proptest! {
             pairs.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
         }
         let cache = den.build_time_cache(&store);
+        let pack = den.pack_weights(&store);
         let mut scratch = DenoiserScratch::new();
+        let mut proj = Matrix::zeros(0, 0);
+        den.project_features_into(&store, &feats, &pack, &mut proj);
         let mut via_infer = Vec::new();
         for t in 1..=steps {
             let via_tape = den.predict_probs(&store, feats.clone(), &adj, &pairs, t);
             den.predict_probs_into(
-                &store, &feats, &adj, &pairs, t, &cache, &mut scratch, &mut via_infer,
+                &store, &proj, &adj, &pairs, t, &cache, &pack, &mut scratch, &mut via_infer,
             );
             let tb: Vec<u32> = via_tape.iter().map(|p| p.to_bits()).collect();
             let ib: Vec<u32> = via_infer.iter().map(|p| p.to_bits()).collect();
             prop_assert_eq!(tb, ib, "step {}", t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched head scoring is a pure row-wise map: scoring all
+    /// candidate pairs in one `predict_probs_into` call must produce
+    /// exactly the bits of scoring each pair alone — whether the batch
+    /// runs on a cold scratch or on one warmed (and reshaped) by the
+    /// per-pair calls first.
+    #[test]
+    fn batched_head_scoring_matches_per_pair_bitwise(
+        seed in 0u64..1000,
+        n in 2usize..10,
+        hidden in 4usize..18,
+        layers in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let steps = 3;
+        let den = Denoiser::new(&mut store, hidden, layers, steps, &mut rng);
+        let attrs = random_attrs(n, seed ^ 5);
+        let feats = feature_matrix(&attrs);
+        let adj = adjacency_operator(&random_parents(n, seed ^ 6));
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..rng.gen_range(1..4 * n) {
+            pairs.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
+        }
+        let cache = den.build_time_cache(&store);
+        let pack = den.pack_weights(&store);
+        let mut proj = Matrix::zeros(0, 0);
+        den.project_features_into(&store, &feats, &pack, &mut proj);
+        let t = 1 + seed as usize % steps;
+
+        // Per-pair scoring through one warm scratch.
+        let mut warm = DenoiserScratch::new();
+        let mut one = Vec::new();
+        let mut per_pair: Vec<u32> = Vec::new();
+        for &pair in &pairs {
+            den.predict_probs_into(
+                &store, &proj, &adj, std::slice::from_ref(&pair), t, &cache, &pack,
+                &mut warm, &mut one,
+            );
+            prop_assert_eq!(one.len(), 1);
+            per_pair.push(one[0].to_bits());
+        }
+
+        // The whole batch: once cold, once on the warm scratch.
+        let mut batched = Vec::new();
+        let mut cold = DenoiserScratch::new();
+        den.predict_probs_into(
+            &store, &proj, &adj, &pairs, t, &cache, &pack, &mut cold, &mut batched,
+        );
+        let cold_bits: Vec<u32> = batched.iter().map(|p| p.to_bits()).collect();
+        den.predict_probs_into(
+            &store, &proj, &adj, &pairs, t, &cache, &pack, &mut warm, &mut batched,
+        );
+        let warm_bits: Vec<u32> = batched.iter().map(|p| p.to_bits()).collect();
+
+        prop_assert_eq!(&cold_bits, &per_pair, "cold batch vs per-pair");
+        prop_assert_eq!(&warm_bits, &per_pair, "warm batch vs per-pair");
+    }
+}
+
+// --- 1b. packed kernels ≡ naive matmul, ragged shapes ------------------
+
+/// The packed-B kernels under the public `syncircuit_nn` surface must
+/// reproduce the naive `matmul_into` bit for bit on every shape the
+/// sampler can reach — ragged K/N, single rows/columns, and the empty
+/// edges (0 rows, 0 inner dim, 0 output columns). The suffix-fused
+/// variant is checked against materialising `[A | 1⊗s]` and running
+/// the plain path.
+#[test]
+fn packed_kernels_match_naive_on_ragged_shapes() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for &(m, k, s, d) in &[
+        (5usize, 3usize, 0usize, 4usize),
+        (1, 1, 1, 1),
+        (7, 16, 16, 16),
+        (23, 5, 3, 9),
+        (4, 0, 0, 6),
+        (0, 4, 2, 3),
+        (6, 7, 5, 0),
+        (33, 17, 2, 19),
+    ] {
+        let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+        // Zeros in A exercise the zero-skip path; a non-finite B entry
+        // behind a zero proves the packed path keeps its semantics.
+        for x in a.data_mut() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        let sfx: Vec<f32> = (0..s).map(|j| if j % 2 == 0 { 0.0 } else { 0.25 }).collect();
+        let mut b = Matrix::randn(k + s, d, 1.0, &mut rng);
+        if k + s > 0 && d > 0 {
+            b.data_mut()[0] = f32::NAN;
+        }
+        let bias = Matrix::randn(1, d, 1.0, &mut rng);
+        let pack = b.pack_b();
+
+        // Naive reference over the materialised concatenation.
+        let mut cat = Matrix::zeros(m, k + s);
+        for i in 0..m {
+            for j in 0..k {
+                *cat.at_mut(i, j) = a.at(i, j);
+            }
+            for (j, &v) in sfx.iter().enumerate() {
+                *cat.at_mut(i, k + j) = v;
+            }
+        }
+        let mut want = Matrix::zeros(0, 0);
+        cat.matmul_into(&b, &mut want);
+        let mut got = Matrix::zeros(0, 0);
+        if s == 0 {
+            a.matmul_packed_into(&pack, &mut got);
+            assert_eq!(bits(&want), bits(&got), "plain packed {m}x{k}x{d}");
+        }
+        for relu in [false, true] {
+            let mut want_b = want.clone();
+            for (i, x) in want_b.data_mut().iter_mut().enumerate() {
+                *x += bias.data()[i % d.max(1)];
+                if relu {
+                    *x = x.max(0.0);
+                }
+            }
+            a.matmul_packed_cat_bias_into(&sfx, &pack, &bias, relu, &mut got);
+            assert_eq!(
+                bits(&want_b),
+                bits(&got),
+                "suffix-fused {m}x{k}+{s}x{d} relu={relu}"
+            );
         }
     }
 }

@@ -48,7 +48,7 @@
 //! assert_eq!(tape.value(yt).data(), inf.value(yi).data());
 //! ```
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PackedB};
 use crate::params::{ParamId, ParamStore};
 use crate::sparse::RowNormAdj;
 use crate::tape::sigmoid;
@@ -170,6 +170,62 @@ impl<'p, 's> Infer<'p, 's> {
         Slot(SlotKind::Arena(out))
     }
 
+    /// Matrix product against a pre-packed weight matrix (borrowed for
+    /// the call, like [`Infer::spmm_mean`]'s adjacency). Bit-identical
+    /// to [`Infer::matmul`] with the unpacked weights — see
+    /// [`Matrix::matmul_packed_into`] — while streaming cache-line
+    /// panels with a branch-free zero-skip, which is what makes the
+    /// serving decoder head run at memory speed on ReLU-sparse
+    /// activations.
+    pub fn matmul_packed(&mut self, a: Slot, b: &PackedB) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        av.matmul_packed_into(b, dst);
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// Fused `a × b + bias` (bias broadcast to every row) against a
+    /// pre-packed weight matrix — one output pass instead of a matmul
+    /// followed by [`Infer::add_row`], bit-identical to that pair (see
+    /// [`Matrix::matmul_packed_bias_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × b.cols()`.
+    pub fn matmul_packed_bias(&mut self, a: Slot, b: &PackedB, bias: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let biasv = resolve(store, ext, arena, bias);
+        av.matmul_packed_bias_into(b, biasv, dst);
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// `[a | 1⊗suffix] × b + bias` (then ReLU when `relu`) without
+    /// materialising the concatenation: `suffix` is one shared row
+    /// virtually appended to every row of `a`, its per-column products
+    /// computed once instead of per row. Bit-identical to concatenating,
+    /// [`Infer::matmul_packed_bias`], and a separate [`Infer::relu`]
+    /// (see [`Matrix::matmul_packed_cat_bias_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() + suffix.len() != b.rows()` or `bias` is not
+    /// `1 × b.cols()`.
+    pub fn matmul_packed_cat_bias(
+        &mut self,
+        a: Slot,
+        suffix: &[f32],
+        b: &PackedB,
+        bias: Slot,
+        relu: bool,
+    ) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let biasv = resolve(store, ext, arena, bias);
+        av.matmul_packed_cat_bias_into(suffix, b, biasv, relu, dst);
+        Slot(SlotKind::Arena(out))
+    }
+
     /// Elementwise sum (same shapes).
     pub fn add(&mut self, a: Slot, b: Slot) -> Slot {
         let (store, ext, arena, dst, out) = self.with_out();
@@ -179,6 +235,22 @@ impl<'p, 's> Infer<'p, 's> {
         dst.reset_shape_any(av.rows(), av.cols());
         for ((o, &x), &y) in dst.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
             *o = x + y;
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
+    /// `relu(a + b)` in one output pass — the same per-element
+    /// `x + y` then `max(·, 0.0)` as [`Infer::add`] followed by
+    /// [`Infer::relu`], so the values are bit-identical, with one
+    /// arena intermediate and one full matrix traversal fewer.
+    pub fn add_relu(&mut self, a: Slot, b: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let bv = resolve(store, ext, arena, b);
+        assert_eq!(av.shape(), bv.shape(), "add_relu shape mismatch");
+        dst.reset_shape_any(av.rows(), av.cols());
+        for ((o, &x), &y) in dst.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = (x + y).max(0.0);
         }
         Slot(SlotKind::Arena(out))
     }
@@ -219,6 +291,30 @@ impl<'p, 's> Infer<'p, 's> {
         Slot(SlotKind::Arena(out))
     }
 
+    /// `relu(a + 1⊗row)` in one pass — bit-identical to
+    /// [`Infer::add_row`] followed by [`Infer::relu`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not 1×C.
+    pub fn add_row_relu(&mut self, a: Slot, row: Slot) -> Slot {
+        let (store, ext, arena, dst, out) = self.with_out();
+        let av = resolve(store, ext, arena, a);
+        let rv = resolve(store, ext, arena, row);
+        assert_eq!(rv.rows(), 1, "add_row_relu expects a 1xC row vector");
+        assert_eq!(rv.cols(), av.cols(), "add_row_relu width mismatch");
+        let cols = av.cols();
+        dst.reset_shape_any(av.rows(), cols);
+        for i in 0..av.rows() {
+            let src = av.row(i);
+            let drow = &mut dst.data_mut()[i * cols..(i + 1) * cols];
+            for ((o, &x), &r) in drow.iter_mut().zip(src).zip(rv.data()) {
+                *o = (x + r).max(0.0);
+            }
+        }
+        Slot(SlotKind::Arena(out))
+    }
+
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Slot) -> Slot {
         self.map_unary(a, |x| x.max(0.0))
@@ -232,6 +328,14 @@ impl<'p, 's> Infer<'p, 's> {
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Slot) -> Slot {
         self.map_unary(a, f32::tanh)
+    }
+
+    /// [`Infer::sigmoid`] appended straight onto a caller buffer —
+    /// the same per-element `sigmoid(x)` (bit-identical values)
+    /// without the arena intermediate the slot version writes.
+    pub fn sigmoid_append(&self, a: Slot, out: &mut Vec<f32>) {
+        let av = self.value(a);
+        out.extend(av.data().iter().map(|&x| sigmoid(x)));
     }
 
     fn map_unary(&mut self, a: Slot, f: impl Fn(f32) -> f32) -> Slot {
@@ -368,6 +472,40 @@ mod tests {
         ] {
             assert_eq!(bits(tape.value(t)), bits(inf.value(i)));
         }
+    }
+
+    /// The fused passes must produce the exact bits of their unfused
+    /// chains — they exist only to drop an arena traversal each.
+    #[test]
+    fn fused_ops_match_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let store = ParamStore::new();
+        let a = Matrix::randn(7, 5, 1.3, &mut rng);
+        let b = Matrix::randn(7, 5, 1.3, &mut rng);
+        let row = Matrix::randn(1, 5, 1.3, &mut rng);
+
+        let mut scratch = InferScratch::new();
+        let mut inf = Infer::new(&store, &mut scratch);
+        let (sa, sb, srow) = (inf.constant(&a), inf.constant(&b), inf.constant(&row));
+
+        let slow_add = inf.add(sa, sb);
+        let slow_add = inf.relu(slow_add);
+        let fused_add = inf.add_relu(sa, sb);
+        assert_eq!(bits(inf.value(slow_add)), bits(inf.value(fused_add)));
+
+        let slow_row = inf.add_row(sa, srow);
+        let slow_row = inf.relu(slow_row);
+        let fused_row = inf.add_row_relu(sa, srow);
+        assert_eq!(bits(inf.value(slow_row)), bits(inf.value(fused_row)));
+
+        let slot_sig = inf.sigmoid(sa);
+        let mut appended = vec![0.5]; // must append, not clear
+        inf.sigmoid_append(sa, &mut appended);
+        assert_eq!(appended[0], 0.5);
+        assert_eq!(
+            bits(inf.value(slot_sig)),
+            appended[1..].iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

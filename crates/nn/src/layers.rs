@@ -3,7 +3,7 @@
 //! baselines.
 
 use crate::infer::{Infer, Slot};
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PackedB};
 use crate::params::{ParamId, ParamStore};
 use crate::sparse::RowNormAdj;
 use crate::tape::{Tape, Var};
@@ -59,6 +59,48 @@ impl Linear {
         let h = inf.matmul(x, w);
         inf.add_row(h, b)
     }
+
+    /// Packs this layer's weight matrix for
+    /// [`Linear::forward_infer_packed`]. A pack is a pure function of
+    /// the current weights — rebuild it after training steps (serving
+    /// parameters never change, so serving packs once per model).
+    pub fn pack(&self, store: &ParamStore) -> PackedB {
+        store.get(self.w).pack_b()
+    }
+
+    /// [`Linear::forward_infer`] using a pre-packed weight matrix
+    /// (bit-identical values; the matmul and the bias broadcast fuse
+    /// into one output pass — see [`Infer::matmul_packed_bias`]).
+    ///
+    /// `wp` must be the pack of this layer's current weights.
+    pub fn forward_infer_packed(&self, inf: &mut Infer<'_, '_>, x: Slot, wp: &PackedB) -> Slot {
+        debug_assert_eq!(
+            (wp.rows(), wp.cols()),
+            (self.in_dim, self.out_dim),
+            "packed weights do not match this layer"
+        );
+        let b = inf.param(self.b);
+        inf.matmul_packed_bias(x, wp, b)
+    }
+
+    /// [`Linear::forward_infer_packed`] outside any inference graph:
+    /// writes `x·W + b` straight into `out` (bit-identical values,
+    /// same fused kernel). Lets callers hoist a layer whose input is
+    /// invariant across a loop and reuse the result as a constant.
+    pub fn forward_packed_into(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        wp: &PackedB,
+        out: &mut Matrix,
+    ) {
+        debug_assert_eq!(
+            (wp.rows(), wp.cols()),
+            (self.in_dim, self.out_dim),
+            "packed weights do not match this layer"
+        );
+        x.matmul_packed_bias_into(wp, store.get(self.b), out);
+    }
 }
 
 /// Multi-layer perceptron with ReLU activations between layers and a
@@ -111,6 +153,70 @@ impl Mlp {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward_infer(inf, h);
+            if i + 1 < self.layers.len() {
+                h = inf.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Packs every layer's weights for [`Mlp::forward_infer_packed`].
+    pub fn pack(&self, store: &ParamStore) -> Vec<PackedB> {
+        self.layers.iter().map(|l| l.pack(store)).collect()
+    }
+
+    /// [`Mlp::forward_infer`] over pre-packed weights (bit-identical
+    /// values; one pack per layer, from [`Mlp::pack`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packs` does not hold exactly one pack per layer.
+    pub fn forward_infer_packed(
+        &self,
+        inf: &mut Infer<'_, '_>,
+        x: Slot,
+        packs: &[PackedB],
+    ) -> Slot {
+        assert_eq!(packs.len(), self.layers.len(), "one pack per MLP layer");
+        let mut h = x;
+        for (i, (layer, wp)) in self.layers.iter().zip(packs).enumerate() {
+            h = layer.forward_infer_packed(inf, h, wp);
+            if i + 1 < self.layers.len() {
+                h = inf.relu(h);
+            }
+        }
+        h
+    }
+
+    /// [`Mlp::forward_infer_packed`] whose input is the virtual
+    /// concatenation `[x | 1⊗suffix]` — one shared row appended to
+    /// every row of `x`. The first layer runs the fused shared-suffix
+    /// kernel (its ReLU fused too, unless it is the only layer), so the
+    /// concatenation is never materialised and the suffix's products
+    /// are computed once instead of per input row. Bit-identical to
+    /// building the concatenated matrix and calling
+    /// [`Mlp::forward_infer_packed`] (see
+    /// [`Infer::matmul_packed_cat_bias`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packs` does not hold exactly one pack per layer, or
+    /// if `x.cols() + suffix.len()` does not match the first layer.
+    pub fn forward_infer_packed_cat(
+        &self,
+        inf: &mut Infer<'_, '_>,
+        x: Slot,
+        suffix: &[f32],
+        packs: &[PackedB],
+    ) -> Slot {
+        assert_eq!(packs.len(), self.layers.len(), "one pack per MLP layer");
+        assert!(!self.layers.is_empty(), "an MLP has at least one layer");
+        let relu_first = self.layers.len() > 1;
+        let first = &self.layers[0];
+        let b = inf.param(first.b);
+        let mut h = inf.matmul_packed_cat_bias(x, suffix, &packs[0], b, relu_first);
+        for (i, (layer, wp)) in self.layers.iter().zip(packs).enumerate().skip(1) {
+            h = layer.forward_infer_packed(inf, h, wp);
             if i + 1 < self.layers.len() {
                 h = inf.relu(h);
             }

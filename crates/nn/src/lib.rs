@@ -5,7 +5,8 @@
 //! baselines' GRUs, the PPA regressors). This crate provides the required
 //! machinery from scratch, with no external ML dependencies:
 //!
-//! - [`Matrix`] — dense row-major `f32` matrices
+//! - [`Matrix`] — dense row-major `f32` matrices, with a panel-packed
+//!   weight layout ([`PackedB`]) and SIMD-dispatched serving kernels
 //! - [`Tape`] — reverse-mode automatic differentiation over matrix ops
 //! - [`Infer`] / [`InferScratch`] — forward-only inference engine with
 //!   reusable scratch buffers, bit-identical to the tape's forward pass
@@ -54,6 +55,6 @@ mod params;
 mod tape;
 
 pub use infer::{Infer, InferScratch, Slot};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PackedB};
 pub use params::{Adam, ParamId, ParamStore};
 pub use tape::{Gradients, Tape, Var};

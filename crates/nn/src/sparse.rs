@@ -141,14 +141,32 @@ fn spmm(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix) -> 
     out
 }
 
+/// CSR × dense, structurally aware: structurally-empty rows (nodes with
+/// no parents — the common case for circuit inputs) are zero-filled and
+/// skipped, and non-empty rows write their first contribution as
+/// `0.0 + w·s` instead of zero-filling the whole output up front. That
+/// first write is the exact operation the accumulate-into-zeros loop
+/// performed (`0.0 + x` is not foldable to `x`: it normalizes `-0.0`
+/// to `+0.0`, which is precisely the historical behavior), so results
+/// stay bit-identical while the kernel touches each output row once
+/// instead of twice.
 fn spmm_into(n: usize, row_ptr: &[u32], col_idx: &[u32], val: &[f32], x: &Matrix, out: &mut Matrix) {
     assert_eq!(x.rows(), n, "spmm row mismatch");
     let d = x.cols();
-    out.reset_shape(n, d);
+    out.reset_shape_any(n, d);
     for j in 0..n {
-        for k in row_ptr[j] as usize..row_ptr[j + 1] as usize {
-            let i = col_idx[k] as usize;
-            let w = val[k];
+        let (lo, hi) = (row_ptr[j] as usize, row_ptr[j + 1] as usize);
+        let dst = &mut out.data_mut()[j * d..(j + 1) * d];
+        if lo == hi {
+            dst.fill(0.0);
+            continue;
+        }
+        let (i0, w0) = (col_idx[lo] as usize, val[lo]);
+        for (o, &s) in dst.iter_mut().zip(x.row(i0)) {
+            *o = 0.0 + w0 * s;
+        }
+        for k in lo + 1..hi {
+            let (i, w) = (col_idx[k] as usize, val[k]);
             let src = x.row(i);
             let dst = &mut out.data_mut()[j * d..(j + 1) * d];
             for (o, &s) in dst.iter_mut().zip(src) {

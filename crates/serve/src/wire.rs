@@ -280,6 +280,19 @@ fn u64_field(value: &Value, name: &str) -> Result<u64, WireError> {
         .ok_or_else(|| WireError::BadFrame(format!("missing or non-integer field `{name}`")))
 }
 
+/// [`u64_field`] narrowed into the in-memory integer type. A raw `as`
+/// cast here would silently truncate whenever the peer's word is wider
+/// than ours (a hostile or corrupt frame carrying 2⁴⁰ where a count
+/// belongs, or any value above 2³² on a 32-bit target), turning a
+/// protocol violation into a plausible-looking small number.
+/// Out-of-range values surface as a typed [`WireError::BadFrame`]
+/// naming the field instead.
+fn narrowed_field<T: TryFrom<u64>>(value: &Value, name: &str) -> Result<T, WireError> {
+    let raw = u64_field(value, name)?;
+    T::try_from(raw)
+        .map_err(|_| WireError::BadFrame(format!("field `{name}` out of range: {raw}")))
+}
+
 /// Encodes a request frame to payload bytes.
 pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
     render(&env(
@@ -419,7 +432,7 @@ pub fn encode_serve_error(e: &ServeError) -> Value {
 pub fn decode_serve_error(value: &Value) -> Result<ServeError, WireError> {
     Ok(match kind_of(value)?.as_str() {
         "overloaded" => ServeError::Overloaded {
-            capacity: u64_field(value, "capacity")? as usize,
+            capacity: narrowed_field(value, "capacity")?,
         },
         "shutting_down" => ServeError::ShuttingDown,
         "deadline_exceeded" => ServeError::DeadlineExceeded,
@@ -472,7 +485,7 @@ fn decode_core_error(value: &Value) -> Result<CoreError, WireError> {
         "config" => CoreError::Config(decode_config_error(&inner(value)?)?),
         "empty_attrs" => CoreError::Request(RequestError::EmptyAttrs),
         "no_valid_parent" => CoreError::Refine(RefineError::NoValidParent {
-            node: NodeId::new(u64_field(value, "node")? as usize),
+            node: NodeId::new(narrowed_field(value, "node")?),
         }),
         "persist" => CoreError::Persist(decode_persist_error(&inner(value)?)?),
         other => {
@@ -536,8 +549,8 @@ fn decode_config_error(value: &Value) -> Result<ConfigError, WireError> {
     Ok(match kind_of(value)?.as_str() {
         "zero_diffusion_steps" => ConfigError::ZeroDiffusionSteps,
         "zero_denoiser_capacity" => ConfigError::ZeroDenoiserCapacity {
-            hidden: u64_field(value, "hidden")? as usize,
-            layers: u64_field(value, "layers")? as usize,
+            hidden: narrowed_field(value, "hidden")?,
+            layers: narrowed_field(value, "layers")?,
         },
         "bad_learning_rate" => ConfigError::BadLearningRate(f32_field(value, "bits")?),
         "bad_negative_ratio" => ConfigError::BadNegativeRatio(f64_field(value, "bits")?),
@@ -629,12 +642,12 @@ fn decode_wire_error(value: &Value) -> Result<WireError, WireError> {
     Ok(match kind_of(value)?.as_str() {
         "io" => WireError::Io(msg(value)?),
         "truncated" => WireError::Truncated {
-            expected: u64_field(value, "expected")? as usize,
-            got: u64_field(value, "got")? as usize,
+            expected: narrowed_field(value, "expected")?,
+            got: narrowed_field(value, "got")?,
         },
         "oversized" => WireError::Oversized {
-            len: u64_field(value, "len")? as usize,
-            max: u64_field(value, "max")? as usize,
+            len: narrowed_field(value, "len")?,
+            max: narrowed_field(value, "max")?,
         },
         "bad_json" => WireError::BadJson(msg(value)?),
         "bad_version" => WireError::BadVersion {
@@ -709,6 +722,37 @@ mod tests {
         for e in core_errors {
             roundtrip_serve(ServeError::Model(e));
         }
+    }
+
+    /// Integer fields wider than the receiving type must be rejected
+    /// as malformed frames, not wrapped: the old `as` casts would have
+    /// read 2⁴⁰ as 0 on a 32-bit `usize`.
+    #[test]
+    fn narrowed_field_rejects_out_of_range_values() {
+        let v: Value = serde_json::from_str(r#"{"n": 1099511627776}"#).unwrap(); // 2^40
+        // In-range for the wide type and for anything that can hold 2^40…
+        assert_eq!(u64_field(&v, "n").unwrap(), 1u64 << 40);
+        let wide: u64 = narrowed_field(&v, "n").unwrap();
+        assert_eq!(wide, 1u64 << 40);
+        // …but a typed error (never a wrap) for a narrower target.
+        let narrow: Result<u32, WireError> = narrowed_field(&v, "n");
+        match narrow {
+            Err(WireError::BadFrame(msg)) => {
+                assert!(msg.contains("`n`"), "error names the field: {msg}");
+                assert!(msg.contains("1099511627776"), "error carries the value: {msg}");
+            }
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        // Missing and non-integer fields keep their existing diagnostics.
+        let bad: Value = serde_json::from_str(r#"{"n": "hi"}"#).unwrap();
+        assert!(matches!(
+            narrowed_field::<u32>(&bad, "n"),
+            Err(WireError::BadFrame(_))
+        ));
+        assert!(matches!(
+            narrowed_field::<u32>(&bad, "missing"),
+            Err(WireError::BadFrame(_))
+        ));
     }
 
     /// NaN payloads keep their exact bit pattern (text JSON would lose
