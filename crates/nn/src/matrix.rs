@@ -1322,3 +1322,20 @@ mod tests {
         assert_eq!(bits(&a.matmul(&small)), bits(&out));
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    #[test]
+    fn suffix_48_like_standard_config() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hc = 48;
+        let a = Matrix::randn(4, hc, 1.0, &mut rng);
+        let sfx = vec![0.5f32; hc];
+        let b = Matrix::randn(2 * hc, 3, 1.0, &mut rng);
+        let bias = Matrix::randn(1, 3, 1.0, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_packed_cat_bias_into(&sfx, &b.pack_b(), &bias, false, &mut out);
+    }
+}
